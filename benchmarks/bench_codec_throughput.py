@@ -1,0 +1,80 @@
+"""Library performance — GF(2^8)/Reed-Solomon kernel throughput.
+
+Not a paper figure: these benchmarks track the host-side performance of
+the erasure substrate itself (the part that does real computation), so
+regressions in the vectorized kernels are caught. Numbers are whatever
+the host delivers; the assertions only guard against catastrophic
+de-vectorization (e.g. a Python-loop fallback).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.erasure import RSCode
+from repro.erasure.gf256 import GF256
+
+SHARD = 1 << 20  # 1 MiB shards
+
+
+@pytest.fixture(scope="module")
+def shards():
+    rng = np.random.default_rng(0)
+    return [rng.integers(0, 256, SHARD, dtype=np.uint8) for _ in range(6)]
+
+
+def test_gf_addmul_throughput(benchmark, shards):
+    acc = np.zeros(SHARD, dtype=np.uint8)
+
+    def run():
+        GF256.addmul_bytes(acc, 0x57, shards[0])
+
+    benchmark(run)
+    mbps = SHARD / benchmark.stats["mean"] / 1e6
+    benchmark.extra_info["MB_per_s"] = mbps
+    assert mbps > 50, f"GF addmul de-vectorized? {mbps:.1f} MB/s"
+
+
+@pytest.mark.parametrize("k,m", [(3, 1), (6, 3)])
+def test_rs_encode_throughput(benchmark, shards, k, m):
+    code = RSCode(k, m)
+
+    def run():
+        return code.encode(shards[:k])
+
+    benchmark(run)
+    data_mb = k * SHARD / 1e6
+    mbps = data_mb / benchmark.stats["mean"]
+    benchmark.extra_info["data_MB_per_s"] = mbps
+    assert mbps > 20, f"RS({k},{m}) encode too slow: {mbps:.1f} MB/s"
+
+
+def test_rs_decode_throughput(benchmark, shards):
+    code = RSCode(4, 2)
+    parity = code.encode(shards[:4])
+    present = {0: shards[0], 2: shards[2], 4: parity[0], 5: parity[1]}
+
+    def run():
+        return code.decode(present)
+
+    benchmark(run)
+    mbps = 4 * SHARD / 1e6 / benchmark.stats["mean"]
+    benchmark.extra_info["data_MB_per_s"] = mbps
+    assert mbps > 10
+
+
+def test_parity_delta_update_throughput(benchmark, shards):
+    code = RSCode(4, 2)
+    parity = code.encode(shards[:4])
+    new = shards[4]
+
+    def run():
+        return code.update_parity(parity, 1, shards[1], new)
+
+    benchmark(run)
+    mbps = SHARD / 1e6 / benchmark.stats["mean"]
+    benchmark.extra_info["MB_per_s"] = mbps
+    # The delta update must beat a full stripe re-encode per byte.
+    encode_time_est = benchmark.stats["mean"] * 2  # loose sanity bound
+    assert mbps > 10

@@ -1,0 +1,83 @@
+"""Extension benchmark — multi-tier staging (the paper's future work).
+
+Measures what utility-based tier placement buys: with redundancy routed
+to capacity tiers, the DRAM working set shrinks by the redundancy factor,
+at a bounded tier-access-time cost. Sweeps the DRAM budget to show the
+pressure/migration behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CoRECConfig, CoRECPolicy, StagingConfig, StagingService
+from repro.staging.tiers import StorageTier, TierPlacementRule, default_tiers
+from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
+
+from common import print_table, save_results
+
+
+def run(dram_budget: int, redundancy_in_dram: bool) -> dict:
+    tiers = default_tiers(dram_bytes=dram_budget, nvram_bytes=8 * dram_budget)
+    cfg = StagingConfig(
+        n_servers=8,
+        domain_shape=(64, 64, 64),
+        element_bytes=1,
+        object_max_bytes=4096,
+        tiers=tuple(tiers),
+        seed=6,
+    )
+    svc = StagingService(cfg, CoRECPolicy(CoRECConfig(storage_bound=0.67)))
+    if redundancy_in_dram:
+        for srv in svc.servers:
+            srv.tiered.rule = TierPlacementRule(replica_tier=0, parity_tier=0)
+    wl = SyntheticWorkload(
+        svc,
+        SyntheticWorkloadConfig(case="case1", n_writers=64, n_readers=8, timesteps=10),
+    )
+    svc.run_workflow(wl.run())
+    svc.run()
+    dram = sum(s.tiered.occupancy[0] for s in svc.servers)
+    lower = sum(sum(s.tiered.occupancy[1:]) for s in svc.servers)
+    return {
+        "dram_kb": dram_budget // 1024,
+        "placement": "redundancy in DRAM" if redundancy_in_dram else "redundancy down-tier",
+        "dram_used_kb": dram / 1024,
+        "lower_used_kb": lower / 1024,
+        "migrations": sum(
+            s.tiered.migrations_down + s.tiered.migrations_up for s in svc.servers
+        ),
+        "tier_time_ms": sum(s.tier_busy_s for s in svc.servers) * 1e3,
+        "read_errors": svc.read_errors,
+    }
+
+
+def experiment():
+    rows = []
+    for dram_kb in (64, 24):
+        rows.append(run(dram_kb * 1024, redundancy_in_dram=False))
+        rows.append(run(dram_kb * 1024, redundancy_in_dram=True))
+    return rows
+
+
+def test_ext_tiered_staging(benchmark):
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table("Extension: multi-tier staging, DRAM-budget sweep", rows, [
+        ("dram_kb", "DRAM KB/srv", "{}"),
+        ("placement", "placement", ""),
+        ("dram_used_kb", "DRAM used KB", "{:.0f}"),
+        ("lower_used_kb", "lower tiers KB", "{:.0f}"),
+        ("migrations", "migrations", "{}"),
+        ("tier_time_ms", "tier time ms", "{:.2f}"),
+    ])
+    save_results("ext_tiering", rows)
+    assert all(r["read_errors"] == 0 for r in rows)
+    by = {(r["dram_kb"], r["placement"]): r for r in rows}
+    # Routing redundancy down-tier uses strictly less DRAM than keeping it
+    # in DRAM, at every budget.
+    for dram_kb in (64, 24):
+        down = by[(dram_kb, "redundancy down-tier")]
+        up = by[(dram_kb, "redundancy in DRAM")]
+        assert down["dram_used_kb"] < up["dram_used_kb"]
+    # Tight budgets force migrations; ample ones do not (down-tier rule).
+    assert by[(24, "redundancy down-tier")]["migrations"] >= by[(64, "redundancy down-tier")]["migrations"]

@@ -1,0 +1,96 @@
+"""Figure 10 — per-timestep read response through failures and lazy recovery.
+
+Paper schedule over 20 read-all timesteps:
+
+- single-failure run: server fails at step 4, recovery (replacement +
+  lazy repair) begins at step 8 and completes by step 9;
+- double-failure run: failures at steps 4 and 6, recoveries starting at
+  steps 8 and 12 (done by 9 and 13); after step 14 the read response is
+  back to the pre-failure level.
+
+The expected shape: a jump to a degraded plateau after each failure, a
+bump while lazy recovery repairs on access, then a return to baseline —
+and *no* aggressive all-at-once repair storm.
+
+The aggressive-recovery contrast is included as an ablation series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.recovery import RecoveryConfig
+
+from common import print_table, run_synthetic, save_results
+
+TIMESTEPS = 20
+
+
+def fig10_experiment():
+    runs = {}
+    runs["corec_1f"] = run_synthetic(
+        "corec",
+        "case5",
+        timesteps=TIMESTEPS,
+        failure_plan={4: [("fail", 0)], 8: [("replace", 0)]},
+    )
+    runs["corec_2f"] = run_synthetic(
+        "corec",
+        "case5",
+        timesteps=TIMESTEPS,
+        failure_plan={
+            4: [("fail", 0)],
+            6: [("fail", 5)],
+            8: [("replace", 0)],
+            12: [("replace", 5)],
+        },
+    )
+    runs["erasure_aggressive_1f"] = run_synthetic(
+        "erasure",
+        "case5",
+        timesteps=TIMESTEPS,
+        failure_plan={4: [("fail", 0)], 8: [("replace", 0)]},
+    )
+    runs["baseline"] = run_synthetic("corec", "case5", timesteps=TIMESTEPS)
+    return runs
+
+
+def test_fig10_lazy_recovery_timeline(benchmark):
+    runs = benchmark.pedantic(fig10_experiment, rounds=1, iterations=1)
+    rows = []
+    for ts in range(1, TIMESTEPS + 1):  # read steps are 1..20 (0 = populate)
+        row = {"step": ts}
+        for name, r in runs.items():
+            series = dict(zip([int(s) for s in r["steps"]], r["step_get_ms"]))
+            row[name] = series.get(ts, float("nan"))
+        rows.append(row)
+    print_table(
+        "Figure 10: read response per timestep (ms)",
+        rows,
+        [
+            ("step", "TS", "{}"),
+            ("baseline", "no failure", "{:.3f}"),
+            ("corec_1f", "CoREC 1f", "{:.3f}"),
+            ("corec_2f", "CoREC 2f", "{:.3f}"),
+            ("erasure_aggressive_1f", "Erasure aggr 1f", "{:.3f}"),
+        ],
+    )
+    save_results("fig10_recovery", {k: r["step_get_ms"] for k, r in runs.items()})
+
+    # List index i holds read timestep i+1; failure at TS4 (index 3).
+    for name in ("corec_1f", "corec_2f"):
+        series = runs[name]["step_get_ms"]
+        assert runs[name]["read_errors"] == 0
+        pre = float(np.mean(series[0:3]))          # TS1-3, before the failure
+        degraded = float(np.mean(series[4:7]))     # TS5-7, degraded window
+        tail = float(np.mean(series[14:]))         # TS15+, recovered
+        # Degraded reads are visibly slower than the pre-failure baseline.
+        assert degraded > 1.05 * pre, f"{name}: no degraded plateau"
+        # After recovery the response returns to (near) baseline.
+        assert tail < 1.10 * pre, f"{name}: did not return to baseline"
+    # Two failures degrade further than one (TS7-11 window, after the
+    # second failure and before its recovery).
+    one = float(np.mean(runs["corec_1f"]["step_get_ms"][8:11]))
+    two = float(np.mean(runs["corec_2f"]["step_get_ms"][8:11]))
+    assert two >= one
+    benchmark.extra_info["timesteps"] = TIMESTEPS

@@ -1,0 +1,82 @@
+"""Figure 4 — analytic relative write cost vs hot-data fraction.
+
+Evaluates the Section II-D closed-form model with RS(4,3) (N_node=3,
+N_level=1), storage constraint S=0.67, for miss ratios r_m in {0, 0.2, 0.4},
+against the C_replica / C_erasure / C_hybrid baselines, and prints the
+curve samples plus the constraint knee P_r*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import CoRECModel, ModelParams
+
+from common import print_table, save_results
+
+MISS_RATIOS = (0.0, 0.2, 0.4)
+S = 0.67
+
+
+def fig4_experiment():
+    model = CoRECModel(ModelParams(n_level=1, n_node=3))
+    series = model.fig4_series(miss_ratios=MISS_RATIOS, s=S, n_points=11)
+    return model, series
+
+
+def test_fig4_model_curves(benchmark):
+    model, series = benchmark.pedantic(fig4_experiment, rounds=1, iterations=1)
+    rows = []
+    for i, p_h in enumerate(series["p_h"]):
+        rows.append(
+            {
+                "p_h": p_h,
+                "corec_0": series["corec_rm=0"][i],
+                "corec_02": series["corec_rm=0.2"][i],
+                "corec_04": series["corec_rm=0.4"][i],
+                "hybrid": series["hybrid"][i],
+                "replica": series["replica"][i],
+                "erasure": series["erasure"][i],
+            }
+        )
+    print_table(
+        f"Figure 4: relative write cost (RS(4,3), S={S}, knee P_r*={series['p_r_star']:.3f})",
+        rows,
+        [
+            ("p_h", "P_h", "{:.1f}"),
+            ("corec_0", "CoREC r=0", "{:.3f}"),
+            ("corec_02", "CoREC r=.2", "{:.3f}"),
+            ("corec_04", "CoREC r=.4", "{:.3f}"),
+            ("hybrid", "Hybrid", "{:.3f}"),
+            ("replica", "Replica", "{:.3f}"),
+            ("erasure", "Erasure", "{:.3f}"),
+        ],
+    )
+    save_results("fig4_model", {k: (v.tolist() if isinstance(v, np.ndarray) else v) for k, v in series.items()})
+
+    corec0 = series["corec_rm=0"]
+    hybrid = series["hybrid"]
+    erasure = series["erasure"]
+    replica = series["replica"]
+    p_h = series["p_h"]
+    knee = series["p_r_star"]
+
+    # Marker 1: all-cold endpoint — CoREC == hybrid == erasure.
+    assert corec0[0] == hybrid[0] == erasure[0]
+    # CoREC never worse than simple hybrid; gap maximal between the markers.
+    assert (corec0 <= hybrid + 1e-12).all()
+    # Higher miss ratio -> higher cost everywhere between the endpoints.
+    mid = len(p_h) // 2
+    assert series["corec_rm=0.2"][mid] > corec0[mid]
+    assert series["corec_rm=0.4"][mid] > series["corec_rm=0.2"][mid]
+    # Marker 2: beyond the knee the CoREC curve is parallel to erasure
+    # (constant gap).
+    beyond = p_h > knee + 0.05
+    gaps = erasure[beyond] - corec0[beyond]
+    assert gaps.max() - gaps.min() < 1e-9
+    # Below the knee with perfect classification CoREC tracks replication
+    # for the hot share: it stays below erasure everywhere.
+    assert (corec0 <= erasure + 1e-12).all()
+    # Replication is the latency floor.
+    assert (replica <= corec0 + 1e-12).all()
+    benchmark.extra_info["knee"] = knee

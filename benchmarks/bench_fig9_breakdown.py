@@ -1,0 +1,73 @@
+"""Figure 9 — execution-time breakdown per mechanism per case.
+
+The paper splits the total workflow execution time of cases 1-4 into
+*transport* (data movement), *metadata* (distributed directory updates),
+*encode* (parity computation) and *classify* (CoREC's data classification,
+reported as a number because it is tiny).  The claims to reproduce:
+
+- CoREC has less encode time than simple hybrid and pure erasure in every
+  case (fewer erasure-coded objects incur updates, and delta updates beat
+  re-encoding);
+- CoREC has less transport time than both erasure-family baselines;
+- classification cost is negligible.
+"""
+
+from __future__ import annotations
+
+from common import POLICIES, print_table, run_synthetic, save_results
+
+CASES = ("case1", "case2", "case3", "case4")
+
+
+def fig9_experiment():
+    results = {}
+    for case in CASES:
+        rows = []
+        for policy in POLICIES:
+            r = run_synthetic(policy, case)
+            b = r["breakdown_s"]
+            rows.append(
+                {
+                    "policy": policy,
+                    "transport_s": b["transport"],
+                    "metadata_s": b["metadata"],
+                    "encode_s": b["encode"],
+                    "classify_s": b["classify"],
+                    "decode_s": b["decode"],
+                    "store_s": b["store"],
+                    "total_s": sum(b.values()),
+                }
+            )
+        results[case] = rows
+    return results
+
+
+def test_fig9_breakdown(benchmark):
+    results = benchmark.pedantic(fig9_experiment, rounds=1, iterations=1)
+    cols = [
+        ("policy", "mechanism", ""),
+        ("transport_s", "transport", "{:.4f}"),
+        ("metadata_s", "metadata", "{:.4f}"),
+        ("encode_s", "encode", "{:.4f}"),
+        ("classify_s", "classify", "{:.5f}"),
+        ("store_s", "store", "{:.4f}"),
+        ("total_s", "total", "{:.4f}"),
+    ]
+    for case, rows in results.items():
+        print_table(f"Figure 9 {case}: execution-time breakdown", rows, cols)
+    save_results("fig9_breakdown", results)
+
+    for case, rows in results.items():
+        by = {r["policy"]: r for r in rows}
+        # CoREC encodes less than hybrid and erasure (delta updates,
+        # fewer coded-object updates).
+        assert by["corec"]["encode_s"] < by["hybrid"]["encode_s"], case
+        assert by["corec"]["encode_s"] < by["erasure"]["encode_s"], case
+        # CoREC transports less than the erasure-family baselines.
+        assert by["corec"]["transport_s"] < by["erasure"]["transport_s"], case
+        # Classification cost is negligible (<2% of CoREC's total).
+        assert by["corec"]["classify_s"] < 0.02 * by["corec"]["total_s"], case
+        # Non-encoding schemes spend nothing on encode.
+        assert by["dataspaces"]["encode_s"] == 0
+        assert by["replicate"]["encode_s"] == 0
+    benchmark.extra_info["cases"] = len(results)

@@ -1,0 +1,50 @@
+"""Supplementary — concurrent writers and readers (the coupled workflow).
+
+The paper's Table I deployment runs 64 writers *and* 32 readers against
+the same 8 staging servers; Figure 8's write cases isolate the write
+path. This supplementary experiment runs the mixed workload (reads after
+every write step, as the coupled analysis would) and checks that the
+orderings survive read/write interference — the regime the staging
+service actually operates in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import POLICIES, print_table, run_synthetic, save_results
+
+
+def experiment():
+    rows = []
+    for policy in POLICIES:
+        r = run_synthetic(policy, "case1", read_in_write_cases=True)
+        rows.append(r)
+    return rows
+
+
+def run_synthetic_mixed(policy, **kw):
+    # run_synthetic builds the workload config; route the extra flag in.
+    return run_synthetic(policy, "case1", **kw)
+
+
+def test_supp_mixed_read_write(benchmark):
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table("Supplementary: concurrent writers + readers (case 1)", rows, [
+        ("policy", "mechanism", ""),
+        ("put_mean_ms", "write ms", "{:.3f}"),
+        ("get_mean_ms", "read ms", "{:.3f}"),
+        ("storage_efficiency", "storage eff", "{:.3f}"),
+        ("read_errors", "read errs", "{}"),
+    ])
+    save_results("supp_mixed", rows)
+    by = {r["policy"]: r for r in rows}
+    assert all(r["read_errors"] == 0 for r in rows)
+    # The write ordering of Figure 8 survives reader interference.
+    assert by["dataspaces"]["put_mean_ms"] < by["replicate"]["put_mean_ms"]
+    assert by["replicate"]["put_mean_ms"] <= by["corec"]["put_mean_ms"]
+    assert by["corec"]["put_mean_ms"] < by["erasure"]["put_mean_ms"]
+    # Reads exist and stay in one band across schemes (no-failure case).
+    reads = [r["get_mean_ms"] for r in rows]
+    assert min(reads) > 0
+    assert max(reads) < 3 * min(reads)

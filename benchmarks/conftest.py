@@ -1,0 +1,10 @@
+"""Benchmark suite configuration.
+
+The benchmarks live outside the ``tests`` package; make sure the directory
+itself is importable so ``common`` can be shared between bench modules.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

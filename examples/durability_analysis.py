@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Durability analysis: is the MTBF/4 lazy-recovery deadline safe?
+
+Section III-D argues that "too long of a time-limit constraint results in
+an unacceptably high risk of permanently losing the data" and sets the
+recovery deadline to a quarter of the *overall system* MTBF. This example
+quantifies the trade-off with the Markov durability model for a
+Titan-scale staging fleet: the deadline bounds the repair time of
+untouched objects, while repair-on-access fixes actively-used data within
+minutes.
+
+Run:  python examples/durability_analysis.py
+"""
+
+from repro.core.durability import (
+    DurabilityParams,
+    annual_loss_probability,
+    group_mttdl,
+)
+from repro.util.units import fmt_time
+
+SERVER_MTBF_S = 400 * 3600           # ~17 days per staging server
+N_SERVERS = 256                      # a Titan-scale staging fleet
+SYSTEM_MTBF_S = SERVER_MTBF_S / N_SERVERS  # a failure somewhere every ~5.6 h
+ACCESS_REPAIR_S = 10 * 60            # repair-on-access fixes hot data fast
+
+
+def report(label: str, mttr_s: float, group_size: int, tolerance: int) -> None:
+    p = DurabilityParams(
+        mtbf_s=SERVER_MTBF_S, mttr_s=mttr_s, group_size=group_size, tolerance=tolerance
+    )
+    groups = N_SERVERS // group_size
+    print(
+        f"  {label:34s} MTTR {fmt_time(mttr_s):>10}: "
+        f"group MTTDL {fmt_time(group_mttdl(p)):>14}, "
+        f"fleet annual loss prob {annual_loss_probability(p, groups):.2e}"
+    )
+
+
+def main() -> None:
+    print(f"per-server MTBF {fmt_time(SERVER_MTBF_S)}; fleet of {N_SERVERS} servers")
+    print(f"system MTBF (a failure somewhere): {fmt_time(SYSTEM_MTBF_S)}")
+    deadline = SYSTEM_MTBF_S / 4
+    print(f"paper's lazy deadline = system MTBF / 4 = {fmt_time(deadline)}\n")
+
+    print("RS(3+1) coding groups (tolerance 1):")
+    report("aggressive (repair immediately)", ACCESS_REPAIR_S, 4, 1)
+    report("lazy, repair-on-access typical", ACCESS_REPAIR_S + deadline / 10, 4, 1)
+    report("lazy, deadline-bound worst case", ACCESS_REPAIR_S + deadline, 4, 1)
+    report("no deadline (MTBF-long exposure)", SERVER_MTBF_S, 4, 1)
+
+    print("\nreplication pairs (tolerance 1):")
+    report("lazy, deadline-bound worst case", ACCESS_REPAIR_S + deadline, 2, 1)
+
+    print("\nRS(6+2) coding groups (tolerance 2):")
+    report("lazy, deadline-bound worst case", ACCESS_REPAIR_S + deadline, 8, 2)
+
+    print("\nreading the table:")
+    print(" - the deadline-bound lazy regime stays orders of magnitude from the")
+    print("   no-deadline exposure, which is the paper's 'unacceptably high risk';")
+    print(" - doubling the tolerance (RS(6+2)) buys far more durability than")
+    print("   faster repair — the motivation for tuning N_level, not MTTR.")
+
+
+if __name__ == "__main__":
+    main()

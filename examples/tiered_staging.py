@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Future-work extension: multi-tier staging (DRAM + NVRAM + SSD).
+
+The paper's conclusion proposes extending CoREC "to support multiple
+storage layers, for example, using NVRAM and SSD" with utility-based data
+placement. This example runs CoREC over a tiered staging fleet with a
+tight DRAM budget and shows where live data, replicas and parity end up —
+redundancy (written on every update, read only during recovery) sinks to
+the capacity tiers, freeing DRAM for the live working set.
+
+Run:  python examples/tiered_staging.py
+"""
+
+from repro import CoRECConfig, CoRECPolicy, StagingConfig, StagingService
+from repro.staging.tiers import default_tiers
+from repro.util.units import fmt_bytes
+
+
+def run(dram_budget: int):
+    service = StagingService(
+        StagingConfig(
+            n_servers=8,
+            domain_shape=(64, 64, 64),
+            element_bytes=1,
+            object_max_bytes=4096,
+            tiers=tuple(default_tiers(dram_bytes=dram_budget, nvram_bytes=4 * dram_budget)),
+            seed=11,
+        ),
+        CoRECPolicy(CoRECConfig(storage_bound=0.67)),
+    )
+
+    def workflow():
+        for _ in range(6):
+            yield from service.put("w0", "field", service.domain.bbox)
+            yield from service.end_step()
+        yield from service.flush()
+        service.fail_server(3)
+        yield from service.get("r0", "field", service.domain.bbox)
+
+    service.run_workflow(workflow())
+    service.run()
+    assert service.read_errors == 0
+    return service
+
+
+def main() -> None:
+    for dram in (256 * 1024, 16 * 1024):
+        service = run(dram)
+        print(f"\nDRAM budget per server: {fmt_bytes(dram)}")
+        total = {"dram": 0, "nvram": 0, "ssd": 0}
+        kinds: dict[tuple[str, str], int] = {}
+        migrations = 0
+        for srv in service.servers:
+            stats = srv.tiered.stats()
+            for name, occ in stats["occupancy"].items():
+                total[name] += occ
+            migrations += stats["migrations_down"] + stats["migrations_up"]
+            for key in srv.tiered.keys():
+                kind = {"P": "primary", "R": "replica"}.get(key[0], "parity")
+                tier = srv.tiered.tier_of(key)
+                kinds[(kind, tier)] = kinds.get((kind, tier), 0) + 1
+        print("  fleet occupancy: " + ", ".join(f"{k}={fmt_bytes(v)}" for k, v in total.items()))
+        print(f"  migrations: {migrations}")
+        print("  placement (objects):")
+        for (kind, tier), count in sorted(kinds.items()):
+            print(f"    {kind:8s} -> {tier:6s}: {count}")
+        print(f"  tier access time accumulated: "
+              f"{sum(s.tier_busy_s for s in service.servers) * 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

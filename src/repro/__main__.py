@@ -1,0 +1,5 @@
+"""``python -m repro`` — the experiment-runner CLI."""
+
+from repro.cli import main
+
+raise SystemExit(main())

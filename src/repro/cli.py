@@ -1,0 +1,298 @@
+"""Command-line interface: run experiments without writing a script.
+
+Usage::
+
+    python -m repro run-case --case case1 --policy corec --timesteps 20
+    python -m repro run-s3d --scale 0 --policy corec --shrink 8
+    python -m repro model --s 0.67 --miss 0.2
+    python -m repro run-case --case case5 --policy corec \
+        --fail 4:0 --replace 8:0
+
+``--fail STEP:SERVER`` / ``--replace STEP:SERVER`` inject the paper's
+Figure-10-style failure schedules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+
+def _make_policy(name: str, storage_bound: float, seed: int):
+    from repro import (
+        CoRECConfig,
+        CoRECPolicy,
+        ErasurePolicy,
+        NoResilience,
+        ReplicationPolicy,
+        SimpleHybridPolicy,
+    )
+
+    return {
+        "none": lambda: NoResilience(),
+        "replicate": lambda: ReplicationPolicy(),
+        "erasure": lambda: ErasurePolicy(),
+        "hybrid": lambda: SimpleHybridPolicy(
+            storage_bound=storage_bound, rng=np.random.default_rng(seed)
+        ),
+        "corec": lambda: CoRECPolicy(CoRECConfig(storage_bound=storage_bound)),
+    }[name]()
+
+
+def _parse_plan(fails: list[str], replaces: list[str]) -> dict:
+    plan: dict[int, list[tuple[str, int]]] = {}
+    for action, items in (("fail", fails), ("replace", replaces)):
+        for item in items:
+            step_s, _, sid_s = item.partition(":")
+            plan.setdefault(int(step_s), []).append((action, int(sid_s)))
+    return plan
+
+
+def cmd_run_case(args: argparse.Namespace) -> int:
+    from repro import StagingConfig, StagingService
+    from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
+
+    service = StagingService(
+        StagingConfig(
+            n_servers=args.servers,
+            domain_shape=tuple(args.domain),
+            element_bytes=args.element_bytes,
+            object_max_bytes=args.object_bytes,
+            async_protection=args.async_protection,
+            seed=args.seed,
+        ),
+        _make_policy(args.policy, args.storage_bound, args.seed),
+    )
+    workload = SyntheticWorkload(
+        service,
+        SyntheticWorkloadConfig(
+            case=args.case,
+            n_writers=args.writers,
+            n_readers=args.readers,
+            timesteps=args.timesteps,
+            failure_plan=_parse_plan(args.fail, args.replace),
+            seed=args.seed,
+        ),
+    )
+    service.run_workflow(workload.run())
+    service.run()
+    out = {
+        "case": args.case,
+        "policy": args.policy,
+        **service.metrics.snapshot(),
+        "read_errors": service.read_errors,
+        "step_put_ms": [v * 1e3 for v in workload.step_put.values],
+        "step_get_ms": [v * 1e3 for v in workload.step_get.values],
+    }
+    _emit(out, args)
+    return 0 if service.read_errors == 0 else 1
+
+
+def cmd_run_s3d(args: argparse.Namespace) -> int:
+    from repro import StagingConfig, StagingService
+    from repro.workloads.s3d import S3DConfig, S3DWorkload
+
+    cfg = S3DConfig(
+        scale_index=args.scale,
+        shrink=args.shrink,
+        per_core_subdomain=args.subdomain,
+        timesteps=args.timesteps,
+        analysis_every=args.analysis_every,
+        failure_plan=_parse_plan(args.fail, args.replace),
+    )
+    service = StagingService(
+        StagingConfig(
+            n_servers=max(4, cfg.n_staging),
+            domain_shape=cfg.domain_shape,
+            element_bytes=cfg.element_bytes,
+            object_max_bytes=args.object_bytes,
+            nodes_per_cabinet=1,
+            async_protection=args.async_protection,
+            seed=args.seed,
+        ),
+        _make_policy(args.policy, args.storage_bound, args.seed),
+    )
+    workload = S3DWorkload(service, cfg)
+    service.run_workflow(workload.run())
+    service.run()
+    out = {
+        "scale_index": args.scale,
+        "writers": cfg.n_writers,
+        "staging": cfg.n_staging,
+        "policy": args.policy,
+        "cumulative_write_s": workload.cumulative_write_s,
+        "cumulative_read_s": workload.cumulative_read_s,
+        **service.metrics.snapshot(),
+        "read_errors": service.read_errors,
+    }
+    _emit(out, args)
+    return 0 if service.read_errors == 0 else 1
+
+
+def cmd_durability(args: argparse.Namespace) -> int:
+    from repro.core.durability import (
+        DurabilityParams,
+        annual_loss_probability,
+        group_mttdl,
+        recovery_deadline_tradeoff,
+    )
+
+    p = DurabilityParams(
+        mtbf_s=args.mtbf,
+        mttr_s=args.mttr,
+        group_size=args.group_size,
+        tolerance=args.tolerance,
+    )
+    out = {
+        "group_mttdl_s": group_mttdl(p),
+        "annual_loss_probability": annual_loss_probability(p, args.groups),
+        "deadline_sweep": recovery_deadline_tradeoff(
+            args.mtbf, args.group_size, args.tolerance
+        ),
+    }
+    _emit(out, args)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import ascii_bars, ascii_series, list_results, load_results
+
+    if args.list:
+        for name in list_results(args.results_dir):
+            print(name)
+        return 0
+    if not args.name:
+        print("pick a result with --name (see --list)", file=sys.stderr)
+        return 2
+    payload = load_results(args.name, args.results_dir)
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2, default=float)
+        print()
+        return 0
+    # Heuristic rendering: dict of per-name series -> line plot; list of
+    # rows with a numeric column -> bars; otherwise pretty-print.
+    if isinstance(payload, dict) and all(
+        isinstance(v, list) and v and isinstance(v[0], (int, float))
+        for v in payload.values()
+    ):
+        print(ascii_series(payload, title=args.name))
+        return 0
+    if isinstance(payload, list) and payload and isinstance(payload[0], dict):
+        numeric = [
+            k for k, v in payload[0].items() if isinstance(v, (int, float)) and k != "read_errors"
+        ]
+        if numeric and "policy" in payload[0]:
+            key = numeric[0]
+            print(ascii_bars({r["policy"]: r[key] for r in payload}, title=f"{args.name}: {key}"))
+            return 0
+    json.dump(payload, sys.stdout, indent=2, default=float)
+    print()
+    return 0
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    from repro.core.model import CoRECModel, ModelParams
+
+    model = CoRECModel(ModelParams(n_level=args.n_level, n_node=args.n_node))
+    series = model.fig4_series(miss_ratios=tuple(args.miss), s=args.s, n_points=args.points)
+    out = {
+        "p_r_star": series["p_r_star"],
+        "E_r": model.E_r,
+        "E_e": model.E_e,
+        "curves": {
+            k: (v.tolist() if hasattr(v, "tolist") else v) for k, v in series.items()
+        },
+    }
+    _emit(out, args)
+    return 0
+
+
+def _emit(payload: dict, args: argparse.Namespace) -> None:
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2, default=float)
+        print()
+        return
+    for key, value in payload.items():
+        if isinstance(value, dict):
+            print(f"{key}:")
+            for k, v in value.items():
+                print(f"  {k}: {v}")
+        elif isinstance(value, list) and len(value) > 8:
+            head = ", ".join(f"{v:.3f}" if isinstance(v, float) else str(v) for v in value[:8])
+            print(f"{key}: [{head}, ... {len(value)} values]")
+        else:
+            print(f"{key}: {value}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CoREC reproduction experiment runner"
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--policy", default="corec",
+                       choices=["none", "replicate", "erasure", "hybrid", "corec"])
+        p.add_argument("--storage-bound", type=float, default=0.67)
+        p.add_argument("--timesteps", type=int, default=20)
+        p.add_argument("--object-bytes", type=int, default=4096)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--async-protection", action="store_true")
+        p.add_argument("--fail", action="append", default=[], metavar="STEP:SERVER")
+        p.add_argument("--replace", action="append", default=[], metavar="STEP:SERVER")
+
+    p_case = sub.add_parser("run-case", help="run a synthetic Table-I case")
+    common(p_case)
+    p_case.add_argument("--case", default="case1",
+                        choices=["case1", "case2", "case3", "case4", "case5"])
+    p_case.add_argument("--writers", type=int, default=64)
+    p_case.add_argument("--readers", type=int, default=32)
+    p_case.add_argument("--servers", type=int, default=8)
+    p_case.add_argument("--domain", type=int, nargs=3, default=[64, 64, 64])
+    p_case.add_argument("--element-bytes", type=int, default=1)
+    p_case.set_defaults(func=cmd_run_case)
+
+    p_s3d = sub.add_parser("run-s3d", help="run the S3D workflow (Table II)")
+    common(p_s3d)
+    p_s3d.add_argument("--scale", type=int, default=0, choices=[0, 1, 2])
+    p_s3d.add_argument("--shrink", type=int, default=8)
+    p_s3d.add_argument("--subdomain", type=int, default=16)
+    p_s3d.add_argument("--analysis-every", type=int, default=2)
+    p_s3d.set_defaults(func=cmd_run_s3d)
+
+    p_dur = sub.add_parser("durability", help="MTTDL / loss-probability analysis")
+    p_dur.add_argument("--mtbf", type=float, default=400 * 3600.0)
+    p_dur.add_argument("--mttr", type=float, default=3600.0)
+    p_dur.add_argument("--group-size", type=int, default=4)
+    p_dur.add_argument("--tolerance", type=int, default=1)
+    p_dur.add_argument("--groups", type=int, default=1)
+    p_dur.set_defaults(func=cmd_durability)
+
+    p_report = sub.add_parser("report", help="render stored benchmark results")
+    p_report.add_argument("--name", default="")
+    p_report.add_argument("--list", action="store_true")
+    p_report.add_argument("--results-dir", default=None)
+    p_report.set_defaults(func=cmd_report)
+
+    p_model = sub.add_parser("model", help="evaluate the Section II-D model")
+    p_model.add_argument("--s", type=float, default=0.67)
+    p_model.add_argument("--miss", type=float, nargs="*", default=[0.0, 0.2, 0.4])
+    p_model.add_argument("--n-level", type=int, default=1)
+    p_model.add_argument("--n-node", type=int, default=3)
+    p_model.add_argument("--points", type=int, default=11)
+    p_model.set_defaults(func=cmd_model)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

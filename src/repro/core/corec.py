@@ -1,0 +1,320 @@
+"""The CoREC policy: classification-driven hybrid resilience.
+
+Ties together every mechanism of the paper:
+
+- **online hot/cold classification** (Section II-C) via
+  :class:`~repro.core.classifier.HotColdClassifier` — recency, spatial
+  neighbourhood promotion and multi-timestep temporal lookahead;
+- **hot data replicated, cold data erasure coded**, under the
+  storage-efficiency lower bound ``S``: when replication overhead pushes
+  efficiency below ``S``, the replicated entities with the lowest access
+  frequency are demoted to erasure coding; encoded entities with the
+  highest access frequency are promoted back when headroom exists
+  (Section II-C, last paragraph);
+- **asynchronous transitions through the encoding-token workflow**
+  (Section III-B): demotions run in background processes, serialized per
+  replication group by the token and executed on the group's least-loaded
+  member, keeping encodes off the write path and away from busy servers;
+- **delta parity updates** for writes that land on (still-)cold entities;
+- **lazy recovery** with the MTBF/4 deadline (Section III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+import numpy as np
+
+from repro.core.classifier import ClassifierConfig, HotColdClassifier
+from repro.core.policies import ResiliencePolicy
+from repro.core.recovery import RecoveryConfig
+from repro.core.runtime import StagingRuntime
+from repro.core.tokens import EncodingTokenManager
+from repro.staging.objects import BlockEntity, ResilienceState
+
+__all__ = ["CoRECConfig", "CoRECPolicy"]
+
+
+@dataclass
+class CoRECConfig:
+    """Tunables of the CoREC policy.
+
+    ``storage_bound`` is the paper's storage-efficiency constraint S (a
+    lower bound on original/(original+redundant); 0.67 in Table I).
+    ``async_transitions=False`` forces demotions onto the write path (an
+    ablation); ``tokens_enabled=False`` disables the load-balancing token
+    (another ablation).
+    """
+
+    storage_bound: float = 0.67
+    storage_bound_slack: float = 0.04  # hysteresis band below the bound
+    classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
+    update_strategy: str = "delta"
+    async_transitions: bool = True
+    tokens_enabled: bool = True
+    promote_on_access: bool = True
+    max_promotions_per_step: int = 8
+    max_demotions_per_enforcement: int = 2  # smooths transition bursts
+    swap_ref_margin: int = 2  # min access-frequency gap to justify a swap
+    recovery: RecoveryConfig = field(default_factory=lambda: RecoveryConfig(mode="lazy"))
+
+
+class CoRECPolicy(ResiliencePolicy):
+    """Hot/cold-classified hybrid replication + erasure coding."""
+
+    name = "corec"
+
+    def __init__(self, config: CoRECConfig | None = None):
+        cfg = config or CoRECConfig()
+        super().__init__(recovery=cfg.recovery)
+        self.config = cfg
+        self.classifier: HotColdClassifier | None = None
+        self.tokens: EncodingTokenManager | None = None
+        self._promotion_bytes_in_flight = 0
+
+    def attach(self, runtime: StagingRuntime) -> None:
+        super().attach(runtime)
+        self.classifier = HotColdClassifier(runtime.directory.domain, self.config.classifier)
+        self.tokens = EncodingTokenManager(
+            runtime.sim,
+            runtime.layout.n_replication_groups(),
+            runtime.servers,
+            enabled=self.config.tokens_enabled,
+        )
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def on_write(self, ent: BlockEntity, client_name, payload, step, is_new) -> Generator:
+        rt = self.rt
+        # Classification decision (charged to the primary server; only the
+        # decision itself is booked as classify time, per Figure 9).
+        yield from rt.busy(ent.primary, rt.costs.classify_op_s, "classify", charge_wait=False)
+        was_protected_hot = ent.state == ResilienceState.REPLICATED or is_new
+        self.classifier.record_write(ent.key, step, was_hot=was_protected_hot)
+
+        if is_new or ent.state in (ResilienceState.NONE,):
+            # Newly written objects are hot by definition: replicate.
+            yield from rt.ingest_primary(ent, client_name, payload)
+            yield from rt.replicate_entity(ent, payload)
+        elif ent.state == ResilienceState.REPLICATED:
+            yield from self._refresh_replicated(ent, client_name, payload)
+        elif ent.state == ResilienceState.PENDING_STRIPE:
+            yield from rt.ingest_primary(ent, client_name, payload)
+            if ent.replicas:
+                # Still protected by its pre-demotion copies: keep them fresh.
+                yield from rt.refresh_replica_copies(ent, payload)
+        else:  # ENCODED: a classifier miss — cold data got written.
+            self.rt.metrics.count("cold_writes")
+            yield from rt.ingest_primary(ent, client_name, payload, store=False)
+            yield from rt.update_encoded_entity(ent, payload, strategy=self.config.update_strategy)
+            if self.config.promote_on_access and self.classifier.is_hot(ent.key, step):
+                self._maybe_schedule_promotion(ent)
+
+        self._enforce_storage_bound(step=step)
+
+    # ------------------------------------------------------------------
+    # storage-bound enforcement: demote coldest replicated entities
+    # ------------------------------------------------------------------
+    def _enforce_storage_bound(self, step: int | None = None) -> None:
+        """Demote the coldest replicated entities until the bound holds.
+
+        Hysteresis: within ``storage_bound_slack`` below the bound, only
+        entities *not currently classified hot* are eligible — demoting hot
+        data there would immediately bounce back as a promotion (thrash).
+        Under a hard violation (below bound - slack), anything goes, which
+        is the paper's "objects are erasure coded irrespective of their
+        classification" regime.
+        """
+        storage = self.rt.metrics.storage
+        scheduled = 0
+        projected_replica = 0
+        while scheduled < self.config.max_demotions_per_enforcement:
+            eff = storage.would_be_efficiency(d_replica=-projected_replica)
+            if eff >= self.config.storage_bound:
+                break
+            soft = eff >= self.config.storage_bound - self.config.storage_bound_slack
+            ent = self._coldest_replicated(exclude_hot=soft, step=step)
+            if ent is None:
+                break
+            # Account the in-flight demotion so we don't over-demote.
+            projected_replica += ent.nbytes * len(ent.replicas)
+            self._schedule_demotion(ent)
+            scheduled += 1
+
+    def _coldest_replicated(
+        self, exclude_hot: bool = False, step: int | None = None
+    ) -> BlockEntity | None:
+        best: BlockEntity | None = None
+        for ent in self.rt.directory.entities.values():
+            if ent.state != ResilienceState.REPLICATED or ent.transition_in_flight:
+                continue
+            if exclude_hot and step is not None and self.classifier.is_hot(ent.key, step):
+                continue
+            if best is None or (ent.ref_counter, ent.last_write_step, ent.block_id) < (
+                best.ref_counter,
+                best.last_write_step,
+                best.block_id,
+            ):
+                best = ent
+        return best
+
+    def _hottest_encoded(self, exclude: set | None = None) -> BlockEntity | None:
+        best: BlockEntity | None = None
+        for ent in self.rt.directory.entities.values():
+            if ent.state != ResilienceState.ENCODED or ent.transition_in_flight:
+                continue
+            if exclude and ent.key in exclude:
+                continue
+            if best is None or (ent.ref_counter, ent.last_write_step) > (
+                best.ref_counter,
+                best.last_write_step,
+            ):
+                best = ent
+        return best
+
+    # ------------------------------------------------------------------
+    # asynchronous transitions via the token workflow
+    # ------------------------------------------------------------------
+    def _schedule_demotion(self, ent: BlockEntity) -> None:
+        ent.transition_in_flight = True
+        self.rt.metrics.count("demotions_scheduled")
+        if self.config.async_transitions:
+            self.rt.sim.process(self._demotion_process(ent), name=f"demote-{ent.name}-{ent.block_id}")
+        else:
+            # Ablation: transitions run inline on whatever process triggered
+            # them (the write path), exposing the interference CoREC avoids.
+            self.rt.sim.process(self._demotion_process(ent))
+
+    def _demotion_process(self, ent: BlockEntity) -> Generator:
+        from repro.core.runtime import DataLossError
+
+        rt = self.rt
+        try:
+            if ent.state != ResilienceState.REPLICATED:
+                return
+            group_id = rt.layout.replication_group_id(ent.primary)
+            candidates = [ent.primary] + list(ent.replicas)
+
+            def work(executor: int) -> Generator:
+                # State is re-checked under the entity lock inside
+                # _demote_to_encoded (a write may have raced us here).
+                yield from rt.with_entity_lock(
+                    ent.key, self._demote_to_encoded(ent, executor=executor)
+                )
+
+            yield from self.tokens.run_encode(group_id, candidates, ent.primary, work)
+        except DataLossError:
+            # A server died mid-demotion; the entity either kept its
+            # replicas (still protected) or the loss will surface on read.
+            rt.metrics.count("demotions_aborted")
+        finally:
+            ent.transition_in_flight = False
+
+    def _has_headroom(self, ent: BlockEntity) -> bool:
+        # Include promotions already in flight so concurrent promotions
+        # don't all pass the same headroom check and overshoot the bound.
+        extra = ent.nbytes * self.rt.layout.n_level + self._promotion_bytes_in_flight
+        return (
+            self.rt.metrics.storage.would_be_efficiency(d_replica=extra)
+            >= self.config.storage_bound
+        )
+
+    def _maybe_schedule_promotion(self, ent: BlockEntity) -> None:
+        """Queue a cold->hot transition.
+
+        If the storage bound leaves no headroom, the promotion process first
+        demotes a strictly colder replicated entity to make room (the
+        paper's pool exchange: the hottest encoded object trades places with
+        the coldest replicated one); if no colder victim exists the entity
+        stays encoded despite being hot.
+        """
+        ent.transition_in_flight = True
+        self._promotion_bytes_in_flight += ent.nbytes * self.rt.layout.n_level
+        self.rt.metrics.count("promotions_scheduled")
+        self.rt.sim.process(self._promotion_process(ent), name=f"promote-{ent.name}-{ent.block_id}")
+
+    def _promotion_process(self, ent: BlockEntity) -> Generator:
+        rt = self.rt
+        # Own reservation moves from "queued" to "active": the headroom
+        # check below re-adds this entity's bytes explicitly.
+        self._promotion_bytes_in_flight -= ent.nbytes * rt.layout.n_level
+        try:
+            if ent.state != ResilienceState.ENCODED:
+                return
+            if not self._has_headroom(ent):
+                victim = self._coldest_replicated()
+                # A swap must be clearly profitable: demanding a minimum
+                # access-frequency gap prevents ping-pong between equally
+                # hot objects (the uniform-hotness regime of case 1).
+                if victim is None or (
+                    victim.ref_counter + self.config.swap_ref_margin > ent.ref_counter
+                ):
+                    return  # nothing clearly colder to displace: stay encoded
+                self.rt.metrics.count("swap_demotions")
+                victim.transition_in_flight = True
+                try:
+                    group_id = rt.layout.replication_group_id(victim.primary)
+                    candidates = [victim.primary] + list(victim.replicas)
+
+                    def work(executor: int) -> Generator:
+                        yield from rt.with_entity_lock(
+                            victim.key, self._demote_to_encoded(victim, executor=executor)
+                        )
+
+                    yield from self.tokens.run_encode(
+                        group_id, candidates, victim.primary, work
+                    )
+                finally:
+                    victim.transition_in_flight = False
+                if not self._has_headroom(ent):
+                    return
+            # State is re-checked inside _promote_to_replicated once the
+            # entity lock is held.
+            from repro.core.runtime import DataLossError
+
+            try:
+                yield from rt.with_entity_lock(ent.key, self._promote_to_replicated(ent))
+            except DataLossError:
+                # Primary died mid-promotion; the entity kept its stripe
+                # protection, so just abandon the transition.
+                rt.metrics.count("promotions_aborted")
+        finally:
+            ent.transition_in_flight = False
+
+    # ------------------------------------------------------------------
+    # step barrier: lookahead promotions + flush stragglers
+    # ------------------------------------------------------------------
+    def on_step_end(self, step: int) -> Generator:
+        self.classifier.advance(step)
+        # Settle the storage bound at the barrier (writes may have left
+        # promotions/demotions imbalanced).
+        self._enforce_storage_bound(step=step)
+        # Proactive cold->hot conversions: encoded entities the temporal
+        # lookahead predicts will be written in the next step(s).
+        if self.config.promote_on_access:
+            promoted = 0
+            for ent in list(self.rt.directory.entities.values()):
+                if promoted >= self.config.max_promotions_per_step:
+                    break
+                if ent.state != ResilienceState.ENCODED or ent.transition_in_flight:
+                    continue
+                if self.classifier.predicted_hot(ent.key, step + 1):
+                    self._maybe_schedule_promotion(ent)
+                    promoted += 1
+        # Protect any entity still waiting for a stripe, then reclaim the
+        # parity of promoted-out slots.
+        for gid in range(self.rt.layout.n_coding_groups()):
+            if self.rt.stripe_ready(gid):
+                yield from self.rt.encode_pending(gid)
+            yield from self.rt.compact_group(gid)
+
+    def on_flush(self) -> Generator:
+        for gid in range(self.rt.layout.n_coding_groups()):
+            yield from self.rt.flush_pending(gid)
+
+    # ------------------------------------------------------------------
+    def miss_ratio(self) -> float:
+        """Observed classifier miss ratio (the model's r_m)."""
+        return self.classifier.miss_ratio() if self.classifier else 0.0

@@ -1,0 +1,120 @@
+"""Response-time and execution-breakdown accounting.
+
+Everything the paper's evaluation reports comes from here:
+
+- **write/read response time** (Figure 8, 10, 11, 12): per-request samples
+  recorded by the service's put/get flows;
+- **execution-time breakdown** (Figure 9): cumulative transport / metadata /
+  encode / classify (plus decode / recovery / store) durations attributed by
+  the runtime helpers as they execute;
+- **storage efficiency** (write-efficiency ratio in Figure 8): tracked
+  incrementally by :class:`StorageAccountant` so constraint enforcement is
+  O(1) per transition instead of a directory scan.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.util.stats import RunningStat, TimeSeries
+
+__all__ = ["Metrics", "StorageAccountant", "BREAKDOWN_CATEGORIES"]
+
+BREAKDOWN_CATEGORIES = (
+    "transport",
+    "metadata",
+    "encode",
+    "classify",
+    "decode",
+    "recovery",
+    "store",
+)
+
+
+@dataclass
+class StorageAccountant:
+    """Incremental original/replica/parity byte accounting.
+
+    Mirrors :meth:`repro.staging.metadata.MetadataDirectory.storage_breakdown`
+    but is updated in O(1) by the runtime on every protection transition.
+    Tests cross-check the two representations after every workflow.
+    """
+
+    original: int = 0
+    replica: int = 0
+    parity: int = 0
+
+    def efficiency(self) -> float:
+        total = self.original + self.replica + self.parity
+        return self.original / total if total else 1.0
+
+    def overhead_ratio(self) -> float:
+        """Redundancy bytes as a fraction of original bytes."""
+        return (self.replica + self.parity) / self.original if self.original else 0.0
+
+    def would_be_efficiency(self, d_original: int = 0, d_replica: int = 0, d_parity: int = 0) -> float:
+        """Efficiency after a hypothetical delta (for admission decisions)."""
+        orig = self.original + d_original
+        total = orig + self.replica + d_replica + self.parity + d_parity
+        return orig / total if total else 1.0
+
+
+class Metrics:
+    """Shared metrics sink for one simulated workflow run."""
+
+    def __init__(self) -> None:
+        self.put_stat = RunningStat()
+        self.get_stat = RunningStat()
+        self.put_series = TimeSeries("put")
+        self.get_series = TimeSeries("get")
+        self.breakdown: dict[str, float] = {c: 0.0 for c in BREAKDOWN_CATEGORIES}
+        self.counters: Counter[str] = Counter()
+        self.storage = StorageAccountant()
+        self.efficiency_series = TimeSeries("efficiency")
+        self.step_get_series = TimeSeries("step_get")  # per-timestep means (Fig. 10)
+        self.step_put_series = TimeSeries("step_put")
+
+    # ------------------------------------------------------------------
+    def add_time(self, category: str, dt: float) -> None:
+        if category not in self.breakdown:
+            raise KeyError(f"unknown breakdown category {category!r}")
+        self.breakdown[category] += dt
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] += n
+
+    def record_put(self, t: float, duration: float) -> None:
+        self.put_stat.add(duration)
+        self.put_series.add(t, duration)
+
+    def record_get(self, t: float, duration: float) -> None:
+        self.get_stat.add(duration)
+        self.get_series.add(t, duration)
+
+    def sample_efficiency(self, t: float) -> None:
+        self.efficiency_series.add(t, self.storage.efficiency())
+
+    # ------------------------------------------------------------------
+    def write_efficiency(self) -> float:
+        """The paper's Figure 8 red line: write response / storage efficiency.
+
+        Lower is better (good latency at good storage efficiency).
+        """
+        eff = self.storage.efficiency()
+        return self.put_stat.mean / eff if eff > 0 else float("inf")
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary for bench harness tables."""
+        return {
+            "put_mean_s": self.put_stat.mean,
+            "put_total_s": self.put_stat.total,
+            "put_n": self.put_stat.n,
+            "get_mean_s": self.get_stat.mean,
+            "get_total_s": self.get_stat.total,
+            "get_n": self.get_stat.n,
+            "storage_efficiency": self.storage.efficiency(),
+            "write_efficiency": self.write_efficiency(),
+            "breakdown": dict(self.breakdown),
+            "counters": dict(self.counters),
+        }

@@ -1,0 +1,213 @@
+"""The Section II-D analytic model of CoREC.
+
+Implements every equation of the paper's modelling section:
+
+- storage efficiencies ``E_r`` (replication), ``E_e`` (erasure coding) and
+  the hybrid ``E_hybrid(P_r)`` (eq. 7);
+- per-object time costs ``C_r`` (replication) and ``C_e`` (erasure);
+- workload costs: ``C_hybrid`` (eq. 1), ``C_CoREC`` (eqs. 2/3), ``C_replica``
+  (eq. 4), ``C_erasure`` (eq. 5);
+- the CoREC advantage ``Gain`` (eq. 6);
+- the miss-ratio variant (eq. 8) and the storage-constrained regime
+  (eq. 9) with the constraint boundary ``P_r* = E_r (S - E_e) / (S (E_r -
+  E_e))``.
+
+:meth:`CoRECModel.fig4_series` evaluates the piecewise model across the
+hot-data fraction axis, producing the curves of the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ModelParams", "CoRECModel"]
+
+
+@dataclass
+class ModelParams:
+    """Model inputs.
+
+    ``n_node`` is the paper's :math:`N_{node}` (data objects per stripe, the
+    code's k) and ``n_level`` is :math:`N_{level}` (failures tolerated, the
+    code's m and the replica count).  Figure 4 uses RS(4, 3):
+    ``n_node = 3``, ``n_level = 1``.
+
+    ``latency_s`` (:math:`l`) and ``transfer_s`` (:math:`c`) are the
+    streaming-transfer latency and per-object transfer time; ``alpha``
+    scales the :math:`O(N_{level} \\times N_{node})` encode-compute term
+    into seconds.
+    """
+
+    n_level: int = 1
+    n_node: int = 3
+    latency_s: float = 1.0e-3
+    transfer_s: float = 4.0e-3
+    alpha: float = 2.0e-3
+    f_hot: float = 10.0   # update frequency of hot objects
+    f_cold: float = 1.0   # update frequency of cold objects
+    n_objects: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.n_level < 1 or self.n_node < 1:
+            raise ValueError("n_level and n_node must be >= 1")
+        if self.f_hot < self.f_cold:
+            raise ValueError("model assumes f_hot >= f_cold")
+
+
+class CoRECModel:
+    """Closed-form evaluation of the Section II-D equations."""
+
+    def __init__(self, params: ModelParams | None = None):
+        self.p = params or ModelParams()
+
+    # ------------------------------------------------------------------
+    # storage efficiencies
+    # ------------------------------------------------------------------
+    @property
+    def E_r(self) -> float:
+        """Replication storage efficiency: 1 / (N_level + 1)."""
+        return 1.0 / (self.p.n_level + 1)
+
+    @property
+    def E_e(self) -> float:
+        """Erasure-coding storage efficiency: N_node / (N_level + N_node)."""
+        return self.p.n_node / (self.p.n_level + self.p.n_node)
+
+    def E_hybrid(self, p_r: float) -> float:
+        """Eq. 7: hybrid storage efficiency for replicated fraction p_r."""
+        self._check_prob(p_r, "p_r")
+        p_e = 1.0 - p_r
+        nn, nl = self.p.n_node, self.p.n_level
+        return nn / (nn * (nl + 1) * p_r + (nl + nn) * p_e)
+
+    def p_r_at_constraint(self, s: float) -> float:
+        """The replicated fraction where ``E_hybrid == S`` (eq. after eq. 8).
+
+        ``P_r* = E_r (S - E_e) / (S (E_r - E_e))``; clipped to [0, 1].
+        """
+        if not self.E_r <= s <= self.E_e:
+            # Constraint looser than pure replication or tighter than pure
+            # erasure: boundary saturates.
+            return 1.0 if s <= self.E_r else 0.0
+        p_r = self.E_r * (s - self.E_e) / (s * (self.E_r - self.E_e))
+        return float(np.clip(p_r, 0.0, 1.0))
+
+    # ------------------------------------------------------------------
+    # per-object costs
+    # ------------------------------------------------------------------
+    @property
+    def C_r(self) -> float:
+        """Replication write cost: l * N_level + c."""
+        return self.p.latency_s * self.p.n_level + self.p.transfer_s
+
+    @property
+    def C_e(self) -> float:
+        """Erasure write cost: alpha*N_level*N_node + l(N_level+N_node)/N_node + c."""
+        nl, nn = self.p.n_level, self.p.n_node
+        return self.p.alpha * nl * nn + self.p.latency_s * (nl + nn) / nn + self.p.transfer_s
+
+    # ------------------------------------------------------------------
+    # workload costs
+    # ------------------------------------------------------------------
+    def _uniform_f(self, p_h: float) -> float:
+        """The uniform update frequency implied by the hot/cold mix."""
+        return p_h * self.p.f_hot + (1.0 - p_h) * self.p.f_cold
+
+    def C_hybrid(self, p_h: float, p_r: float | None = None) -> float:
+        """Eq. 1 with P_r matched to the hot fraction (or given explicitly)."""
+        self._check_prob(p_h, "p_h")
+        p_r = p_h if p_r is None else p_r
+        self._check_prob(p_r, "p_r")
+        f = self._uniform_f(p_h)
+        return (p_r * self.C_r + (1.0 - p_r) * self.C_e) * f * self.p.n_objects
+
+    def C_corec_ideal(self, p_h: float) -> float:
+        """Eq. 2/3: perfect classification, no storage constraint."""
+        self._check_prob(p_h, "p_h")
+        p_c = 1.0 - p_h
+        n = self.p.n_objects
+        return p_h * self.C_r * self.p.f_hot * n + p_c * self.C_e * self.p.f_cold * n
+
+    def C_replica(self, p_h: float) -> float:
+        """Eq. 4: everything replicated."""
+        self._check_prob(p_h, "p_h")
+        return self.C_r * self._uniform_f(p_h) * self.p.n_objects
+
+    def C_erasure(self, p_h: float) -> float:
+        """Eq. 5: everything erasure coded."""
+        self._check_prob(p_h, "p_h")
+        return self.C_e * self._uniform_f(p_h) * self.p.n_objects
+
+    def gain(self, p_h: float) -> float:
+        """Eq. 6: C_hybrid - C_CoREC = (C_e-C_r) P_h P_c (f_h-f_c) n."""
+        self._check_prob(p_h, "p_h")
+        p_c = 1.0 - p_h
+        return (self.C_e - self.C_r) * p_h * p_c * (self.p.f_hot - self.p.f_cold) * self.p.n_objects
+
+    def C_corec(self, p_h: float, miss_ratio: float = 0.0, s: float | None = None) -> float:
+        """The full piecewise CoREC cost (eqs. 8 and 9).
+
+        Below the storage-constraint boundary (``P_h <= P_r*``) all hot
+        objects can be replicated and eq. 8 applies; beyond it, only
+        ``P_r*`` objects may be replicated and eq. 9 applies.
+        """
+        self._check_prob(p_h, "p_h")
+        self._check_prob(miss_ratio, "miss_ratio")
+        p_c = 1.0 - p_h
+        n = self.p.n_objects
+        fh, fc = self.p.f_hot, self.p.f_cold
+        cr, ce = self.C_r, self.C_e
+
+        p_r_star = 1.0 if s is None else self.p_r_at_constraint(s)
+        if p_h <= p_r_star:
+            # Eq. 8: hot objects replicated except the misclassified share.
+            return (
+                p_h * (1.0 - miss_ratio) * cr * fh * n
+                + p_h * miss_ratio * ce * fh * n
+                + p_c * ce * fc * n
+            )
+        # Eq. 9: constraint reached — only (1-r_m) P_r* hot objects remain
+        # replicated; the rest are encoded irrespective of classification.
+        return (
+            p_r_star * (1.0 - miss_ratio) * cr * fh * n
+            + (p_h - (1.0 - miss_ratio) * p_r_star) * ce * fh * n
+            + p_c * ce * fc * n
+        )
+
+    # ------------------------------------------------------------------
+    def fig4_series(
+        self,
+        miss_ratios: tuple[float, ...] = (0.0, 0.2, 0.4),
+        s: float = 0.67,
+        n_points: int = 101,
+        normalize: bool = True,
+    ) -> dict:
+        """Evaluate the Figure 4 curves over the hot-fraction axis.
+
+        Returns a dict with the ``p_h`` axis, one ``corec_rm=<r>`` series per
+        miss ratio, the three baselines, and the constraint knee ``p_r_star``.
+        When ``normalize`` is set, all costs are scaled by the erasure cost
+        at ``P_h = 1`` (the paper plots *relative* cost).
+        """
+        p_h = np.linspace(0.0, 1.0, n_points)
+        scale = self.C_erasure(1.0) if normalize else 1.0
+        series: dict = {"p_h": p_h, "p_r_star": self.p_r_at_constraint(s), "s": s}
+        for r_m in miss_ratios:
+            series[f"corec_rm={r_m:g}"] = np.array(
+                [self.C_corec(x, miss_ratio=r_m, s=s) for x in p_h]
+            ) / scale
+        p_r_cap = np.minimum(p_h, self.p_r_at_constraint(s))
+        series["hybrid"] = np.array(
+            [self.C_hybrid(x, p_r=pr) for x, pr in zip(p_h, p_r_cap)]
+        ) / scale
+        series["replica"] = np.array([self.C_replica(x) for x in p_h]) / scale
+        series["erasure"] = np.array([self.C_erasure(x) for x in p_h]) / scale
+        return series
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_prob(x: float, name: str) -> None:
+        if not 0.0 <= x <= 1.0:
+            raise ValueError(f"{name} must lie in [0, 1], got {x}")

@@ -1,0 +1,117 @@
+"""Algorithm 1: geometric partitioning and fitting of staged objects.
+
+Very small objects suffer metadata overhead; very large ones inflate
+encode/decode/transport latency (paper Section III-C).  Algorithm 1
+repeatedly halves an object along its longest geometric dimension until
+every piece falls inside a target byte-size band.
+
+Two entry points:
+
+- :func:`fit_object` — the literal Algorithm 1: partition one n-D box until
+  all pieces are at most ``max_bytes``;
+- :func:`choose_block_shape` — applies the same halving to the *global
+  domain* to derive the regular block grid the spatial index distributes
+  ("under perfect conditions, every object can be partitioned into regular
+  and uniform n-dimensional objects").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.staging.domain import BBox
+
+__all__ = ["PartitionResult", "fit_object", "choose_block_shape"]
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of fitting one object: sub-boxes plus per-piece metadata."""
+
+    pieces: list[BBox]
+    metadata: list[dict] = field(default_factory=list)
+
+    @property
+    def n_pieces(self) -> int:
+        return len(self.pieces)
+
+    def total_volume(self) -> int:
+        return sum(p.volume for p in self.pieces)
+
+
+def fit_object(
+    box: BBox,
+    element_bytes: int,
+    max_bytes: int,
+    min_bytes: int = 0,
+) -> PartitionResult:
+    """Partition ``box`` until every piece is at most ``max_bytes``.
+
+    Implements the paper's Algorithm 1: while any piece exceeds the fitting
+    size, split it in half along its longest dimension.  ``min_bytes`` is
+    advisory — the algorithm never splits a piece that would drop below it
+    unless the piece still exceeds ``max_bytes`` (over-large objects always
+    split, as in the paper; the band balances metadata overhead against
+    access latency).
+
+    Invariants (property-tested):
+    - pieces are pairwise disjoint and exactly cover ``box``;
+    - every piece with volume allowing it is <= ``max_bytes``;
+    - no piece is split below one element per dimension.
+    """
+    if element_bytes < 1:
+        raise ValueError("element_bytes must be >= 1")
+    if max_bytes < 1:
+        raise ValueError("max_bytes must be >= 1")
+    if min_bytes > max_bytes:
+        raise ValueError("min_bytes exceeds max_bytes")
+
+    pieces: list[BBox] = []
+    work = [box]
+    while work:
+        piece = work.pop()
+        nbytes = piece.volume * element_bytes
+        can_split = any(s >= 2 for s in piece.shape)
+        if nbytes > max_bytes and can_split:
+            a, b = piece.halve_longest()
+            work.append(a)
+            work.append(b)
+        else:
+            pieces.append(piece)
+    # Deterministic ordering (row-major by lower bound).
+    pieces.sort(key=lambda p: p.lb)
+    metadata = [
+        {"bbox": p, "nbytes": p.volume * element_bytes, "fits": p.volume * element_bytes <= max_bytes}
+        for p in pieces
+    ]
+    return PartitionResult(pieces=pieces, metadata=metadata)
+
+
+def choose_block_shape(
+    shape: tuple[int, ...],
+    element_bytes: int,
+    max_bytes: int,
+) -> tuple[int, ...]:
+    """Derive a regular block shape by Algorithm-1 halving of the domain.
+
+    Halves the longest dimension of the *block shape* (initially the whole
+    domain) until one block is at most ``max_bytes``.  Because the same
+    dimension order is always chosen, the resulting grid is regular, which
+    is the uniform-object condition the paper aims for.
+    """
+    block = list(int(s) for s in shape)
+    if any(b < 1 for b in block):
+        raise ValueError("domain extents must be positive")
+
+    def nbytes() -> int:
+        v = 1
+        for b in block:
+            v *= b
+        return v * element_bytes
+
+    while nbytes() > max_bytes:
+        dim = max(range(len(block)), key=lambda d: (block[d], -d))
+        if block[dim] < 2:
+            break  # cannot split further; single elements exceed the band
+        block[dim] = -(-block[dim] // 2)  # ceil halving keeps coverage
+    return tuple(block)

@@ -1,0 +1,150 @@
+"""Grouped replication & erasure-coding placement (paper Section III-A).
+
+Staging servers are arranged on a topology-aware logical ring (consecutive
+ring positions sit in different cabinets) and then partitioned into:
+
+- **replication groups** of size ``n_level + 1`` — an entity's primary and
+  the servers that hold its replicas; also the token domain of the
+  conflict-avoiding encoding workflow;
+- **coding groups** of size ``k + m`` — the servers across which one
+  erasure-coded stripe's data and parity shards are spread.
+
+Because groups are windows of the topology-aware ring, all members of any
+group live in distinct cabinets (when the cluster has at least as many
+cabinets as the group size), so a correlated cabinet failure costs at most
+one shard per stripe — the paper's Figure 5 layout.
+"""
+
+from __future__ import annotations
+
+from repro.sim.cluster import Cluster, topology_aware_ring
+
+__all__ = ["GroupLayout"]
+
+
+class GroupLayout:
+    """Ring + group geometry for a given cluster and code parameters.
+
+    Parameters
+    ----------
+    cluster:
+        Physical layout (provides the cabinet mapping).
+    n_level:
+        Resilience level: replicas per entity (replication-group size is
+        ``n_level + 1``).
+    k, m:
+        Erasure-code parameters (coding-group size is ``k + m``).
+    topology_aware:
+        When False, the ring is the identity permutation — the naive
+        placement the ablation benchmark compares against.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        n_level: int = 1,
+        k: int = 3,
+        m: int = 1,
+        topology_aware: bool = True,
+    ):
+        if n_level < 1:
+            raise ValueError("n_level must be >= 1")
+        if k < 1 or m < 1:
+            raise ValueError("k and m must be >= 1")
+        n = cluster.n_servers
+        self.rep_size = n_level + 1
+        self.code_size = k + m
+        if n % self.rep_size != 0:
+            raise ValueError(
+                f"{n} servers not divisible into replication groups of {self.rep_size}"
+            )
+        if n % self.code_size != 0:
+            raise ValueError(
+                f"{n} servers not divisible into coding groups of {self.code_size}"
+            )
+        self.cluster = cluster
+        self.n_level = n_level
+        self.k = k
+        self.m = m
+        self.ring = topology_aware_ring(cluster) if topology_aware else list(range(n))
+        self.pos = {server: i for i, server in enumerate(self.ring)}
+
+    @property
+    def n_servers(self) -> int:
+        return self.cluster.n_servers
+
+    # ------------------------------------------------------------------
+    # replication groups
+    # ------------------------------------------------------------------
+    def replication_group(self, server: int) -> list[int]:
+        """Servers in ``server``'s replication group (aligned ring window)."""
+        p = self.pos[server]
+        start = p - (p % self.rep_size)
+        return [self.ring[start + i] for i in range(self.rep_size)]
+
+    def replica_targets(self, primary: int) -> list[int]:
+        """Where ``primary``'s replicas go: the rest of its group, in ring order."""
+        group = self.replication_group(primary)
+        i = group.index(primary)
+        return group[i + 1 :] + group[:i]
+
+    def replication_group_id(self, server: int) -> int:
+        return self.pos[server] // self.rep_size
+
+    def n_replication_groups(self) -> int:
+        return self.n_servers // self.rep_size
+
+    # ------------------------------------------------------------------
+    # coding groups
+    # ------------------------------------------------------------------
+    def coding_group(self, server: int) -> list[int]:
+        """Servers in ``server``'s coding group (aligned ring window)."""
+        p = self.pos[server]
+        start = p - (p % self.code_size)
+        return [self.ring[start + i] for i in range(self.code_size)]
+
+    def coding_group_id(self, server: int) -> int:
+        return self.pos[server] // self.code_size
+
+    def n_coding_groups(self) -> int:
+        return self.n_servers // self.code_size
+
+    def coding_group_members(self, group_id: int) -> list[int]:
+        start = group_id * self.code_size
+        return [self.ring[start + i] for i in range(self.code_size)]
+
+    # ------------------------------------------------------------------
+    def validate_failure_separation(self) -> bool:
+        """True if every group spans distinct cabinets (when possible)."""
+        cabs = self.cluster.n_cabinets
+        ok = True
+        for gid in range(self.n_coding_groups()):
+            members = self.coding_group_members(gid)
+            seen = [self.cluster.cabinet_of(s) for s in members]
+            if len(set(seen)) < min(len(members), cabs):
+                ok = False
+        for gid in range(self.n_replication_groups()):
+            start = gid * self.rep_size
+            members = [self.ring[start + i] for i in range(self.rep_size)]
+            seen = [self.cluster.cabinet_of(s) for s in members]
+            if len(set(seen)) < min(len(members), cabs):
+                ok = False
+        return ok
+
+    def stripe_shard_servers(self, group_id: int, data_servers: list[int]) -> list[int]:
+        """Full shard-server list for a stripe: data first, then parity.
+
+        ``data_servers`` are the (distinct) primaries of the k member
+        entities; parity shards land on the group members that hold no data
+        shard of this stripe, so each server carries at most one shard.
+        """
+        members = self.coding_group_members(group_id)
+        if len(data_servers) != self.k:
+            raise ValueError(f"need {self.k} data servers, got {len(data_servers)}")
+        if len(set(data_servers)) != len(data_servers):
+            raise ValueError("data shards must sit on distinct servers")
+        for s in data_servers:
+            if s not in members:
+                raise ValueError(f"server {s} not in coding group {group_id}")
+        parity_servers = [s for s in members if s not in data_servers]
+        return list(data_servers) + parity_servers[: self.m]

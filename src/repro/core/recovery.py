@@ -1,0 +1,391 @@
+"""Failure-recovery strategies (paper Section III-D, Figure 10).
+
+Three modes:
+
+- **lazy** (CoREC's contribution): after a replacement server joins, lost
+  objects are repaired *on access* (the read path restores what it had to
+  reconstruct anyway), and a background sweep with a deadline of
+  ``deadline_fraction * MTBF`` (the paper uses MTBF/4) repairs whatever was
+  never touched.  Before a replacement joins, reads run in *degraded mode*
+  (reconstruct, serve, discard).
+- **aggressive** (the baseline of existing resilient stores): the moment a
+  failure is detected, every lost object is reconstructed onto surviving
+  servers in one burst — fast repair, but the burst competes with
+  application requests for CPU and NICs.
+- **none**: no background repair; degraded reads only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.core.runtime import DataLossError, StagingRuntime, primary_key, replica_key
+from repro.staging.objects import BlockEntity, ResilienceState, StripeInfo
+
+__all__ = ["RecoveryConfig", "RecoveryManager"]
+
+
+@dataclass
+class RecoveryConfig:
+    mode: str = "lazy"               # "lazy" | "aggressive" | "none"
+    mtbf_s: float = 400.0
+    deadline_fraction: float = 0.25  # the paper's 1/4 MTBF limit
+    repair_on_access: bool = True
+    sweep_parallelism: int = 4       # concurrent repairs during a lazy sweep
+    # Aggressive mode re-generates *everything at once* (paper Section
+    # III-D: "all lost objects are recovered and re-generated onto active
+    # servers immediately") — that burst is exactly what interferes with
+    # application requests, so it gets its own, much wider, parallelism.
+    aggressive_parallelism: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("lazy", "aggressive", "none"):
+            raise ValueError(f"unknown recovery mode {self.mode!r}")
+        if self.mtbf_s <= 0 or not 0 < self.deadline_fraction <= 1:
+            raise ValueError("invalid MTBF / deadline fraction")
+        if self.sweep_parallelism < 1:
+            raise ValueError("sweep_parallelism must be >= 1")
+
+    @property
+    def deadline_s(self) -> float:
+        return self.mtbf_s * self.deadline_fraction
+
+
+class RecoveryManager:
+    """Schedules repair work in reaction to failures/replacements."""
+
+    def __init__(self, runtime: StagingRuntime, config: RecoveryConfig | None = None):
+        self.rt = runtime
+        self.config = config or RecoveryConfig()
+        self.sweeps_started = 0
+        self.sweeps_finished = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def repair_on_access(self) -> bool:
+        return self.config.repair_on_access and self.config.mode != "none"
+
+    def on_server_failed(self, sid: int) -> None:
+        if self.config.mode == "aggressive":
+            self.rt.sim.process(self._aggressive_recover(sid), name=f"aggr-recover-{sid}")
+
+    def on_server_replaced(self, sid: int) -> None:
+        if self.config.mode == "lazy":
+            self.rt.sim.process(self._lazy_sweep(sid), name=f"lazy-sweep-{sid}")
+        elif self.config.mode == "aggressive":
+            # Aggressive already moved primaries to survivors at failure
+            # time; the replacement only needs missing replicas/parities.
+            self.rt.sim.process(self._repair_missing_on(sid, delay=0.0), name=f"aggr-refill-{sid}")
+        if self.config.mode != "none":
+            # Restore failure independence immediately: while a server was
+            # down, redirected writes / survivor recovery may have doubled
+            # stripe shards onto one server; the doubled shards migrate to
+            # the replacement now (a small, bounded transfer set), closing
+            # the window in which a second failure could take two shards of
+            # one stripe at once.
+            self.rt.sim.process(self._rebalance_onto(sid), name=f"rebalance-{sid}")
+
+    # ------------------------------------------------------------------
+    # work enumeration
+    # ------------------------------------------------------------------
+    def _lost_primaries(self, sid: int) -> list[BlockEntity]:
+        out = []
+        for ent in self.rt.directory.entities.values():
+            if ent.version < 0:
+                continue
+            if ent.primary == sid and not self.rt.server(sid).has(primary_key(ent)):
+                out.append(ent)
+        return out
+
+    def _lost_replicas(self, sid: int) -> list[BlockEntity]:
+        out = []
+        for ent in self.rt.directory.entities.values():
+            # Pending entities keep their pre-demotion replicas as their
+            # only protection, so their copies are repaired too.
+            if ent.state not in (
+                ResilienceState.REPLICATED,
+                ResilienceState.PENDING_STRIPE,
+            ):
+                continue
+            if sid in ent.replicas and not self.rt.server(sid).has(replica_key(ent)):
+                out.append(ent)
+        return out
+
+    def _lost_parities(self, sid: int) -> list[tuple[StripeInfo, int]]:
+        out = []
+        for stripe in self.rt.directory.stripes.values():
+            for i in range(stripe.k, stripe.k + stripe.m):
+                if stripe.shard_servers[i] == sid and not self.rt.server(sid).has(
+                    stripe.shard_key(i)
+                ):
+                    out.append((stripe, i))
+        return out
+
+    # ------------------------------------------------------------------
+    # lazy sweep
+    # ------------------------------------------------------------------
+    def _lazy_sweep(self, sid: int) -> Generator:
+        """Wait out the deadline, then repair anything still missing."""
+        self.sweeps_started += 1
+        if self.config.deadline_s > 0:
+            yield self.rt.sim.timeout(self.config.deadline_s)
+        yield from self._repair_all_missing(sid)
+        self.sweeps_finished += 1
+
+    def _repair_missing_on(self, sid: int, delay: float) -> Generator:
+        if delay > 0:
+            yield self.rt.sim.timeout(delay)
+        yield from self._repair_all_missing(sid)
+
+    def _repair_all_missing(self, sid: int) -> Generator:
+        if self.rt.server(sid).failed:
+            return  # failed again before the sweep ran
+        tasks = []
+        for ent in self._lost_primaries(sid):
+            tasks.append(self.rt.recover_primary(ent))
+        for ent in self._lost_replicas(sid):
+            tasks.append(self.rt.recover_replica(ent, sid))
+        for stripe, idx in self._lost_parities(sid):
+            tasks.append(self.rt.recover_parity(stripe, idx))
+        yield from self._run_limited(tasks)
+
+    def _run_limited(self, tasks: list, width: int | None = None) -> Generator:
+        """Run repair generators with bounded parallelism."""
+        from repro.sim.engine import AllOf
+
+        width = width or self.config.sweep_parallelism
+        for i in range(0, len(tasks), width):
+            batch = tasks[i : i + width]
+            procs = [self.rt.sim.process(self._guarded(t)) for t in batch]
+            yield AllOf(self.rt.sim, procs)
+
+    def _guarded(self, gen) -> Generator:
+        """Swallow unrecoverable-object errors so one loss doesn't abort a sweep."""
+        try:
+            yield from gen
+        except DataLossError:
+            self.rt.metrics.count("unrecoverable_objects")
+
+    # ------------------------------------------------------------------
+    # shard rebalancing after a replacement joins
+    # ------------------------------------------------------------------
+    def _rebalance_onto(self, sid: int) -> Generator:
+        """Migrate displaced stripe shards onto the replaced server.
+
+        Two kinds of displacement accumulate while a server is down:
+        *doubling* (two shards of one stripe on one server — only possible
+        when every alive server already held a shard) and *off-group*
+        placement (survivor recovery put a shard outside the stripe's
+        coding group).  Both shrink the set of tolerable future failures,
+        so the replacement absorbs one displaced shard per affected stripe.
+        """
+        group = set(self.rt.layout.coding_group(sid))
+        tasks = []
+        for stripe in list(self.rt.directory.stripes.values()):
+            if sid in stripe.shard_servers:
+                continue
+            if not (group & set(stripe.shard_servers)):
+                continue  # another group's stripe
+            move_slot = None
+            seen: set[int] = set()
+            for i, server in enumerate(stripe.shard_servers):
+                if server in seen:
+                    move_slot = i  # doubled shard
+                    break
+                seen.add(server)
+            if move_slot is None:
+                for i, server in enumerate(stripe.shard_servers):
+                    if server not in group:
+                        move_slot = i  # off-group shard
+                        break
+            if move_slot is None:
+                continue
+            if move_slot < stripe.k:
+                mk = stripe.members[move_slot]
+                if mk is None:
+                    stripe.shard_servers[move_slot] = sid  # vacant: pure metadata
+                    self.rt.metrics.count("rebalanced_shards")
+                    continue
+                ent = self.rt.directory.entities[mk]
+                tasks.append(self._move_primary(ent, stripe, move_slot, sid))
+            else:
+                tasks.append(self._move_parity(stripe, move_slot, sid))
+        yield from self._run_limited(tasks)
+        if tasks:
+            self.rt.metrics.count("rebalanced_shards", len(tasks))
+
+    def _move_primary(self, ent: BlockEntity, stripe: StripeInfo, slot: int, onto: int) -> Generator:
+        """Migrate an entity's primary copy (and shard role) to ``onto``."""
+        yield from self.rt.with_entity_lock(
+            ent.key, self._move_primary_locked(ent, stripe, slot, onto)
+        )
+
+    def _move_primary_locked(self, ent: BlockEntity, stripe: StripeInfo, slot: int, onto: int) -> Generator:
+        if stripe.members[slot] != ent.key or ent.primary == onto:
+            return  # changed while we waited
+        src = self.rt.server(ent.primary)
+        dst = self.rt.server(onto)
+        if dst.failed:
+            return
+        key = primary_key(ent)
+        if not src.has(key):
+            yield from self.rt._recover_primary_locked(ent, onto=onto)
+            return
+        payload = src.fetch_bytes(key)
+        yield from self.rt.transfer(src.name, dst.name, ent.nbytes, "recovery")
+        yield from self.rt.busy(onto, self.rt.costs.store_cost(ent.nbytes), "recovery")
+        if dst.failed or stripe.members[slot] != ent.key:
+            return
+        dst.store_bytes(key, payload)
+        if not src.failed:
+            src.delete_bytes(key)
+        stripe.shard_servers[slot] = onto
+        ent.primary = onto
+        yield from self.rt.metadata_update(ent, onto)
+
+    def _move_parity(self, stripe: StripeInfo, idx: int, onto: int) -> Generator:
+        yield from self.rt.with_stripe_lock(
+            stripe.stripe_id, self._move_parity_locked(stripe, idx, onto)
+        )
+
+    def _move_parity_locked(self, stripe: StripeInfo, idx: int, onto: int) -> Generator:
+        old_sid = stripe.shard_servers[idx]
+        old_srv = self.rt.server(old_sid)
+        key = stripe.shard_key(idx)
+        if old_srv.has(key):
+            yield from self.rt.transfer(old_srv.name, self.rt.server(onto).name, stripe.shard_len, "recovery")
+            yield from self.rt.busy(onto, self.rt.costs.store_cost(stripe.shard_len), "recovery")
+            dst = self.rt.server(onto)
+            # Re-fetch at the application instant: the stripe lock kept
+            # parity updates out, but the source may have died meanwhile.
+            if not dst.failed and old_srv.has(key):
+                dst.store_bytes(key, old_srv.fetch_bytes(key))
+                old_srv.delete_bytes(key)
+                stripe.shard_servers[idx] = onto
+        else:
+            yield from self.rt._recover_parity_locked(stripe, idx, onto)
+
+    # ------------------------------------------------------------------
+    # aggressive recovery
+    # ------------------------------------------------------------------
+    def _aggressive_recover(self, sid: int) -> Generator:
+        """Reconstruct everything lost on ``sid`` onto survivors, now."""
+        tasks = []
+        for ent in self._lost_primaries(sid):
+            onto = self._pick_survivor(ent, exclude=sid)
+            if onto is None:
+                self.rt.metrics.count("unrecoverable_objects")
+                continue
+            if ent.state == ResilienceState.REPLICATED and ent.replicas:
+                tasks.append(self._promote_replica(ent, sid))
+            else:
+                tasks.append(self.rt.recover_primary(ent, onto=onto))
+        for ent in self._lost_replicas(sid):
+            # Re-replicate onto another live member of the replication
+            # group when one exists; otherwise the replica remains owed to
+            # the failed server and is refilled at replacement time.
+            group = self.rt.layout.replication_group(ent.primary)
+            candidates = [
+                t
+                for t in group
+                if t != ent.primary and t != sid and self.rt.alive(t) and t not in ent.replicas
+            ]
+            if candidates:
+                target = candidates[0]
+                ent.replicas = [r for r in ent.replicas if r != sid] + [target]
+                tasks.append(self.rt.recover_replica(ent, target))
+        for stripe, idx in self._lost_parities(sid):
+            onto = self._pick_parity_survivor(stripe, exclude=sid)
+            if onto is not None:
+                tasks.append(self.rt.recover_parity(stripe, idx, onto=onto))
+        yield from self._run_limited(tasks, width=self.config.aggressive_parallelism)
+
+    def _promote_replica(self, ent: BlockEntity, dead_sid: int) -> Generator:
+        """Promote a live replica to primary, then restore replica count.
+
+        Runs under the entity lock (state mutation + replica repair).
+        """
+        yield from self.rt.with_entity_lock(
+            ent.key, self._promote_replica_locked(ent, dead_sid)
+        )
+
+    def _promote_replica_locked(self, ent: BlockEntity, dead_sid: int) -> Generator:
+        live = [r for r in ent.replicas if self.rt.server(r).has(replica_key(ent))]
+        if not live:
+            onto = self._pick_survivor(ent, dead_sid)
+            if onto is None:
+                raise DataLossError(f"no survivor to host {ent.key}")
+            yield from self.rt._recover_primary_locked(ent, onto=onto)
+            return
+        new_primary = live[0]
+        srv = self.rt.server(new_primary)
+        payload = srv.fetch_bytes(replica_key(ent))
+        srv.store_bytes(primary_key(ent), payload)
+        srv.delete_bytes(replica_key(ent))
+        ent.primary = new_primary
+        ent.replicas = [
+            r for r in ent.replicas if r != new_primary and self.rt.alive(r)
+        ]
+        self.rt.metrics.count("replica_promotions")
+        # Restore the replica count on another live group member.
+        targets = [
+            t
+            for t in self.rt.layout.replica_targets(new_primary)
+            if t != dead_sid and self.rt.alive(t)
+        ]
+        if targets:
+            ent.replicas = targets[: self.rt.layout.n_level]
+            for t in ent.replicas:
+                yield from self.rt._recover_replica_locked(ent, t)
+        # Logical accounting follows the new replica set.
+        new_accounted = ent.nbytes * len(ent.replicas)
+        self.rt.metrics.storage.replica += new_accounted - ent.replica_bytes_accounted
+        ent.replica_bytes_accounted = new_accounted
+        yield from self.rt.metadata_update(ent, new_primary)
+
+    def _pick_survivor(self, ent: BlockEntity, exclude: int) -> int | None:
+        """An alive server to host the reconstructed primary.
+
+        Servers already holding a shard of the entity's stripe are avoided
+        (preserving the one-shard-per-server failure independence), looking
+        first inside the coding group, then cluster-wide; only if every
+        alive server already holds a shard do we accept doubling up.
+        """
+        occupied = set(ent.stripe.shard_servers) if ent.stripe is not None else set()
+        group = self.rt.layout.coding_group(ent.primary)
+        tiers = (
+            [s for s in group if s != exclude and self.rt.alive(s) and s not in occupied],
+            [
+                s
+                for s in range(len(self.rt.servers))
+                if s != exclude and self.rt.alive(s) and s not in occupied
+            ],
+            [s for s in group if s != exclude and self.rt.alive(s)],
+            [s for s in range(len(self.rt.servers)) if s != exclude and self.rt.alive(s)],
+        )
+        for tier in tiers:
+            if tier:
+                return min(tier, key=lambda s: (self.rt.server(s).workload_level(), s))
+        return None
+
+    def _pick_parity_survivor(self, stripe: StripeInfo, exclude: int) -> int | None:
+        gid = self.rt.layout.coding_group_id(stripe.shard_servers[0])
+        members = self.rt.layout.coding_group_members(gid)
+        tiers = (
+            [
+                s
+                for s in members
+                if s != exclude and self.rt.alive(s) and s not in stripe.shard_servers
+            ],
+            [
+                s
+                for s in range(len(self.rt.servers))
+                if s != exclude and self.rt.alive(s) and s not in stripe.shard_servers
+            ],
+            [s for s in members if s != exclude and self.rt.alive(s)],
+        )
+        for tier in tiers:
+            if tier:
+                return tier[0]
+        return None

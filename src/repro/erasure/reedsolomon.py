@@ -1,0 +1,269 @@
+"""Systematic Reed-Solomon coding over GF(2^8).
+
+``RSCode(k, m)`` encodes ``k`` equal-length data shards into ``m`` parity
+shards; any ``k`` of the ``k+m`` stripe shards reconstruct the data (MDS).
+This mirrors the paper's Jerasure usage, where a stripe of ``k`` staged data
+objects plus ``m`` parities tolerates ``m`` concurrent staging-server
+failures.
+
+Beyond plain encode/decode, :meth:`RSCode.update_parity` implements the
+delta-based parity update that makes *object updates* expensive for erasure
+coded data — the cost asymmetry at the heart of CoREC's hot/cold split: an
+update to one data shard requires touching **every** parity shard, whereas a
+replicated object only rewrites its replicas.
+
+:class:`StripeCodec` adapts the fixed-shard-size core to variable-size
+payloads by padding, and carries shard-to-server bookkeeping for the staging
+layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.erasure.gf256 import GF256
+from repro.erasure.matrix import GFMatrix, cauchy_rs_matrix, vandermonde_rs_matrix
+
+__all__ = ["RSCode", "StripeCodec", "Stripe"]
+
+
+class RSCode:
+    """A systematic ``RS(k, m)`` erasure code.
+
+    Parameters
+    ----------
+    k:
+        Number of data shards per stripe.
+    m:
+        Number of parity shards (failures tolerated).
+    construction:
+        ``"cauchy"`` (default) or ``"vandermonde"`` generator construction.
+    """
+
+    def __init__(self, k: int, m: int, construction: str = "cauchy"):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if m < 0:
+            raise ValueError("m must be >= 0")
+        if k + m > 256:
+            raise ValueError("k + m must be <= 256 for GF(2^8)")
+        self.k = k
+        self.m = m
+        self.n = k + m
+        self.construction = construction
+        if construction == "cauchy":
+            self.generator = cauchy_rs_matrix(k, m)
+        elif construction == "vandermonde":
+            self.generator = vandermonde_rs_matrix(k, m)
+        elif construction == "xor":
+            # Single-parity XOR code (RAID-5-like): the m=1 special case
+            # whose parity row is all ones, so encode/update degenerate to
+            # pure XOR passes — the cheap end of the paper's cited
+            # XOR-based code family.
+            if m > 1:
+                raise ValueError("the xor construction supports exactly one parity")
+            from repro.erasure.matrix import GFMatrix, identity
+
+            gen = np.concatenate([identity(k), np.ones((m, k), dtype=np.uint8)], axis=0)
+            self.generator = GFMatrix(gen)
+        else:
+            raise ValueError(f"unknown construction {construction!r}")
+        # Parity block rows (m x k): the non-identity part of the generator.
+        self.parity_rows = self.generator.a[k:, :]
+        # Decode matrices are pure functions of the surviving-row set; the
+        # same erasure patterns recur constantly during recovery, so the
+        # Gauss-Jordan inversions are cached (as production RS codecs do).
+        self._decode_cache: dict[tuple[int, ...], np.ndarray] = {}
+        self.decode_cache_hits = 0
+        self.decode_cache_misses = 0
+
+    def _decode_matrix(self, chosen: tuple[int, ...]) -> np.ndarray:
+        cached = self._decode_cache.get(chosen)
+        if cached is not None:
+            self.decode_cache_hits += 1
+            return cached
+        self.decode_cache_misses += 1
+        inv = GFMatrix(self.generator.a[list(chosen)]).invert().a
+        if len(self._decode_cache) >= 1024:  # bound the cache
+            self._decode_cache.clear()
+        self._decode_cache[chosen] = inv
+        return inv
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RSCode(k={self.k}, m={self.m}, {self.construction})"
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_shard_matrix(shards: Sequence[np.ndarray]) -> np.ndarray:
+        mats = [np.ascontiguousarray(s, dtype=np.uint8).ravel() for s in shards]
+        lengths = {s.size for s in mats}
+        if len(lengths) != 1:
+            raise ValueError(f"shards must be equal length, got {sorted(lengths)}")
+        return np.stack(mats, axis=0)
+
+    def encode(self, data_shards: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Compute the ``m`` parity shards for ``k`` data shards."""
+        d = self._as_shard_matrix(data_shards)
+        if d.shape[0] != self.k:
+            raise ValueError(f"expected {self.k} data shards, got {d.shape[0]}")
+        parity = GF256.matmul_bytes(self.parity_rows, d)
+        return [parity[i] for i in range(self.m)]
+
+    def update_parity(
+        self,
+        parities: Sequence[np.ndarray],
+        shard_index: int,
+        old_shard: np.ndarray,
+        new_shard: np.ndarray,
+    ) -> list[np.ndarray]:
+        """Delta-update all parities after one data shard changes.
+
+        ``P_i' = P_i + G[k+i, j] * (old + new)`` — requires reading the old
+        shard and rewriting every parity, which is exactly the update
+        overhead the paper's Section II-A describes.
+        """
+        if not 0 <= shard_index < self.k:
+            raise IndexError("shard_index out of range")
+        if len(parities) != self.m:
+            raise ValueError(f"expected {self.m} parities, got {len(parities)}")
+        delta = np.bitwise_xor(
+            np.ascontiguousarray(old_shard, dtype=np.uint8).ravel(),
+            np.ascontiguousarray(new_shard, dtype=np.uint8).ravel(),
+        )
+        out = []
+        for i in range(self.m):
+            p = np.ascontiguousarray(parities[i], dtype=np.uint8).ravel().copy()
+            GF256.addmul_bytes(p, int(self.parity_rows[i, shard_index]), delta)
+            out.append(p)
+        return out
+
+    def decode(
+        self,
+        present: dict[int, np.ndarray],
+        shard_len: int | None = None,
+    ) -> list[np.ndarray]:
+        """Reconstruct all ``k`` data shards from any ``k`` present shards.
+
+        Parameters
+        ----------
+        present:
+            Mapping of stripe index (0..n-1; data shards first, then
+            parities) to the surviving shard bytes.  At least ``k`` entries
+            are required.
+        shard_len:
+            Optional expected shard length (validated if provided).
+
+        Returns
+        -------
+        The ``k`` data shards, in order.
+
+        Raises
+        ------
+        ValueError
+            If fewer than ``k`` shards are present (unrecoverable loss).
+        """
+        if len(present) < self.k:
+            raise ValueError(
+                f"unrecoverable: need {self.k} shards, only {len(present)} present"
+            )
+        for idx in present:
+            if not 0 <= idx < self.n:
+                raise IndexError(f"shard index {idx} out of range 0..{self.n - 1}")
+
+        # Fast path: all data shards survived — nothing to invert.
+        if all(i in present for i in range(self.k)):
+            data = [np.ascontiguousarray(present[i], dtype=np.uint8).ravel() for i in range(self.k)]
+            if shard_len is not None and any(d.size != shard_len for d in data):
+                raise ValueError("shard length mismatch")
+            return data
+
+        # Choose k surviving rows, preferring data shards (cheaper rows).
+        chosen = tuple(sorted(present.keys())[: self.k])
+        inv = self._decode_matrix(chosen)
+        shard_mat = self._as_shard_matrix([present[i] for i in chosen])
+        if shard_len is not None and shard_mat.shape[1] != shard_len:
+            raise ValueError("shard length mismatch")
+        data = GF256.matmul_bytes(inv, shard_mat)
+        return [data[i] for i in range(self.k)]
+
+    def reconstruct_shard(self, present: dict[int, np.ndarray], target: int) -> np.ndarray:
+        """Reconstruct one stripe shard (data *or* parity) by index."""
+        if not 0 <= target < self.n:
+            raise IndexError("target out of range")
+        if target in present:
+            return np.ascontiguousarray(present[target], dtype=np.uint8).ravel().copy()
+        data = self.decode(present)
+        if target < self.k:
+            return data[target]
+        parity = self.encode(data)
+        return parity[target - self.k]
+
+
+@dataclass
+class Stripe:
+    """A coded stripe: shard payloads plus original object lengths.
+
+    ``shards[i]`` for ``i < k`` are (padded) data shards; ``i >= k`` are
+    parities.  ``lengths[i]`` records each original object's byte length so
+    decode can strip the padding.
+    """
+
+    code: RSCode
+    shards: list[np.ndarray]
+    lengths: list[int]
+
+    @property
+    def shard_len(self) -> int:
+        return int(self.shards[0].size) if self.shards else 0
+
+
+class StripeCodec:
+    """Variable-size object <-> fixed-size stripe adapter.
+
+    The staging layer deals in objects of (slightly) varying byte size; the
+    RS core wants equal-length shards.  The codec pads each object to the
+    stripe's shard length (the max object length) before encoding and strips
+    padding after decode.
+    """
+
+    def __init__(self, k: int, m: int, construction: str = "cauchy"):
+        self.code = RSCode(k, m, construction)
+
+    @property
+    def k(self) -> int:
+        return self.code.k
+
+    @property
+    def m(self) -> int:
+        return self.code.m
+
+    @staticmethod
+    def _pad(buf: np.ndarray, length: int) -> np.ndarray:
+        buf = np.ascontiguousarray(buf, dtype=np.uint8).ravel()
+        if buf.size == length:
+            return buf
+        out = np.zeros(length, dtype=np.uint8)
+        out[: buf.size] = buf
+        return out
+
+    def encode_objects(self, objects: Sequence[np.ndarray]) -> Stripe:
+        """Encode ``k`` byte buffers (possibly unequal lengths) into a stripe."""
+        if len(objects) != self.k:
+            raise ValueError(f"expected {self.k} objects, got {len(objects)}")
+        lengths = [int(np.asarray(o).size) for o in objects]
+        shard_len = max(lengths) if lengths else 0
+        if shard_len == 0:
+            raise ValueError("cannot encode empty objects")
+        data = [self._pad(o, shard_len) for o in objects]
+        parity = self.code.encode(data)
+        return Stripe(code=self.code, shards=data + parity, lengths=lengths)
+
+    def decode_objects(self, stripe_lengths: Sequence[int], present: dict[int, np.ndarray]) -> list[np.ndarray]:
+        """Recover the original (unpadded) objects from surviving shards."""
+        data = self.code.decode(present)
+        if len(stripe_lengths) != self.k:
+            raise ValueError("need one original length per data shard")
+        return [data[i][: stripe_lengths[i]].copy() for i in range(self.k)]

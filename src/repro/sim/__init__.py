@@ -1,0 +1,42 @@
+"""Discrete-event simulation engine and cluster/network/failure models.
+
+This subpackage is the substitute for the paper's physical testbed (Titan
+Cray XK7 with RDMA transport).  It provides:
+
+- :mod:`repro.sim.engine` — a deterministic event-heap simulator with
+  generator-coroutine processes, timeouts, interrupts and condition events
+  (a minimal SimPy work-alike, built from scratch);
+- :mod:`repro.sim.resources` — FIFO resources and stores for modelling
+  request queues and NIC serialization;
+- :mod:`repro.sim.network` — a latency + bandwidth point-to-point transfer
+  model with per-endpoint contention;
+- :mod:`repro.sim.cluster` — nodes, cabinets and the topology-aware logical
+  ring used by CoREC's grouped placement (paper Section III-A);
+- :mod:`repro.sim.failures` — scheduled and stochastic (MTBF) failure
+  injection with replacement servers.
+"""
+
+from repro.sim.engine import Simulator, Process, Event, Timeout, Interrupt, AnyOf, AllOf
+from repro.sim.resources import Resource, Store
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.cluster import Cluster, Node, topology_aware_ring
+from repro.sim.failures import FailureInjector, FailureSchedule
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Event",
+    "Timeout",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "Resource",
+    "Store",
+    "Network",
+    "NetworkConfig",
+    "Cluster",
+    "Node",
+    "topology_aware_ring",
+    "FailureInjector",
+    "FailureSchedule",
+]

@@ -1,0 +1,102 @@
+"""Physical cluster topology: servers on nodes, nodes in cabinets.
+
+The paper's grouped placement (Section III-A) depends on knowing which
+staging servers share a failure domain: "a single event such as a power
+failure or a physical disturbance will affect multiple devices".  The
+cluster model records the server -> node -> cabinet mapping, and
+:func:`topology_aware_ring` produces the logical server ring CoREC places
+replication/coding groups on — reordered so that any ``n`` consecutive ring
+positions fall in ``n`` distinct cabinets (when enough cabinets exist).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Node", "Cluster", "topology_aware_ring"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A physical node hosting one or more staging servers."""
+
+    node_id: int
+    cabinet: int
+
+
+@dataclass
+class Cluster:
+    """Server/node/cabinet layout.
+
+    Parameters
+    ----------
+    n_servers:
+        Total staging servers.
+    servers_per_node:
+        Staging server processes co-located per physical node.
+    nodes_per_cabinet:
+        Physical nodes per cabinet (the correlated-failure domain).
+    """
+
+    n_servers: int
+    servers_per_node: int = 1
+    nodes_per_cabinet: int = 4
+    nodes: list[Node] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ValueError("need at least one server")
+        if self.servers_per_node < 1 or self.nodes_per_cabinet < 1:
+            raise ValueError("servers_per_node and nodes_per_cabinet must be >= 1")
+        n_nodes = -(-self.n_servers // self.servers_per_node)  # ceil division
+        self.nodes = [Node(node_id=i, cabinet=i // self.nodes_per_cabinet) for i in range(n_nodes)]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_cabinets(self) -> int:
+        return self.nodes[-1].cabinet + 1
+
+    def node_of(self, server_id: int) -> Node:
+        self._check(server_id)
+        return self.nodes[server_id // self.servers_per_node]
+
+    def cabinet_of(self, server_id: int) -> int:
+        return self.node_of(server_id).cabinet
+
+    def servers_in_cabinet(self, cabinet: int) -> list[int]:
+        return [s for s in range(self.n_servers) if self.cabinet_of(s) == cabinet]
+
+    def _check(self, server_id: int) -> None:
+        if not 0 <= server_id < self.n_servers:
+            raise IndexError(f"server {server_id} out of range 0..{self.n_servers - 1}")
+
+
+def topology_aware_ring(cluster: Cluster) -> list[int]:
+    """Logical server ring with consecutive entries in distinct cabinets.
+
+    Round-robins across cabinets: take one server from cabinet 0, one from
+    cabinet 1, ..., wrapping until all servers are placed.  With ``c``
+    cabinets, any window of ``min(c, n)`` consecutive ring entries spans
+    that many distinct cabinets, so a replication or coding group of size
+    <= c never has two members in the same failure domain.
+    """
+    by_cabinet: dict[int, list[int]] = {}
+    for s in range(cluster.n_servers):
+        by_cabinet.setdefault(cluster.cabinet_of(s), []).append(s)
+    queues = [sorted(v) for _, v in sorted(by_cabinet.items())]
+    ring: list[int] = []
+    i = 0
+    while len(ring) < cluster.n_servers:
+        q = queues[i % len(queues)]
+        if q:
+            ring.append(q.pop(0))
+        i += 1
+        # Guard against an infinite loop once only one cabinet has servers
+        # left: the modular scan still visits it every len(queues) steps.
+        if i > cluster.n_servers * max(1, len(queues)) * 2:  # pragma: no cover
+            raise RuntimeError("ring construction failed to terminate")
+    return ring

@@ -1,0 +1,351 @@
+"""A deterministic discrete-event simulation core.
+
+Processes are Python generators that ``yield`` events; the simulator resumes
+a process when its awaited event fires.  The design follows SimPy's
+vocabulary (``Event`` / ``Timeout`` / ``Process`` / ``Interrupt`` / condition
+events) but is implemented from scratch and kept small enough to reason
+about: one binary heap, one sequence counter for total ordering, no wall
+clock anywhere.
+
+Determinism contract
+--------------------
+Given the same initial processes and the same RNG streams, every run
+produces the identical event order: ties in time are broken by a
+monotonically increasing sequence number, never by object identity or
+insertion hashing.  Tests assert on this property.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "ConditionEvent",
+    "AnyOf",
+    "AllOf",
+]
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupts.
+
+    ``cause`` carries arbitrary context (e.g. the failure event that killed
+    a staging server mid-request).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* once (``succeed`` or ``fail``) and then has its
+    callbacks run at the simulation time of triggering.  Waiting on an
+    already-processed event resumes the waiter immediately (same timestamp,
+    later sequence number).
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = _PENDING
+        self.ok: bool | None = None
+        self._scheduled = False
+
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise RuntimeError("event value not yet available")
+        return self._value
+
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.ok = True
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.ok = False
+        self._value = exception
+        self.sim._schedule_event(self)
+        return self
+
+    # ------------------------------------------------------------------
+    def _add_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: schedule an immediate wake-up.
+            self.sim._schedule_callback(lambda: cb(self))
+        else:
+            self.callbacks.append(cb)
+
+    def _remove_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self.callbacks is not None and cb in self.callbacks:
+            self.callbacks.remove(cb)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self.ok = True
+        self._value = value
+        sim._schedule_event(self, delay=self.delay)
+
+
+class Process(Event):
+    """A running generator coroutine; also an event that fires on completion.
+
+    Yield protocol inside the generator:
+
+    - ``yield event`` — suspend until the event fires; the ``yield``
+      expression evaluates to the event's value (or raises its exception).
+    - ``return value`` — completes the process; waiters receive ``value``.
+
+    ``interrupt(cause)`` throws :class:`Interrupt` into the generator at the
+    current simulation time, detaching it from whatever it was waiting on.
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process body must be a generator, got {type(gen)!r}")
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Event | None = None
+        self.sim._schedule_callback(self._start)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        self._step(lambda: self.gen.send(None))
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event.ok:
+            self._step(lambda: self.gen.send(event.value))
+        else:
+            exc = event.value
+            self._step(lambda: self.gen.throw(exc))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as intr:
+            # An uncaught interrupt terminates the process "successfully
+            # killed" — the normal fate of a failed staging server process.
+            self.succeed(intr)
+            return
+        except BaseException as exc:  # propagate real errors to waiters
+            if not self.callbacks and not self.triggered:
+                # No one is waiting: surface the crash instead of hiding it.
+                self.fail(exc)
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; processes may only yield Events"
+            )
+        self._target = target
+        target._add_callback(self._resume)
+
+    # ------------------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return  # interrupting a finished process is a no-op
+        def do_interrupt() -> None:
+            if self.triggered:
+                return
+            if self._target is not None:
+                self._target._remove_callback(self._resume)
+                self._target = None
+            self._step(lambda: self.gen.throw(Interrupt(cause)))
+        self.sim._schedule_callback(do_interrupt)
+
+
+class ConditionEvent(Event):
+    """Fires when ``count`` of the given events have succeeded.
+
+    The value is a dict mapping each fired event to its value.  If any child
+    fails, the condition fails with that exception.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], count: int):
+        super().__init__(sim)
+        self.events = list(events)
+        if count > len(self.events):
+            raise ValueError("count exceeds number of events")
+        self._needed = count
+        self._fired: dict[Event, Any] = {}
+        if count == 0:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev._add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._fired[ev] = ev.value
+        if len(self._fired) >= self._needed:
+            self.succeed(dict(self._fired))
+
+
+def AnyOf(sim: "Simulator", events: Iterable[Event]) -> ConditionEvent:
+    """Condition that fires when any one of ``events`` succeeds."""
+    evs = list(events)
+    return ConditionEvent(sim, evs, count=min(1, len(evs)))
+
+
+def AllOf(sim: "Simulator", events: Iterable[Event]) -> ConditionEvent:
+    """Condition that fires when all of ``events`` have succeeded."""
+    evs = list(events)
+    return ConditionEvent(sim, evs, count=len(evs))
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of (time, seq, action) entries."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # scheduling primitives (internal)
+    # ------------------------------------------------------------------
+    def _push(self, delay: float, action: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, action))
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        # Each event is scheduled exactly once: Timeouts at construction,
+        # all other events via succeed()/fail() (which reject re-triggering).
+        if event._scheduled:
+            raise RuntimeError("event scheduled twice")
+        self._push(delay, event._process)
+        event._scheduled = True
+
+    def _schedule_callback(self, cb: Callable[[], None], delay: float = 0.0) -> None:
+        self._push(delay, cb)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event (manual trigger)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start a generator as a process; returns its completion event."""
+        return Process(self, gen, name=name)
+
+    def run(self, until: float | Event | None = None, max_events: int | None = None) -> Any:
+        """Run until the heap drains, time ``until``, or event ``until``.
+
+        Returns the event's value when ``until`` is an event.
+        ``max_events`` is a runaway guard: exceeding it raises
+        RuntimeError instead of spinning forever on a livelocked model.
+        """
+        if self._running:
+            raise RuntimeError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+
+        def bump() -> None:
+            nonlocal executed
+            executed += 1
+            if max_events is not None and executed > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded max_events={max_events}; "
+                    "likely a livelock (zero-delay loop) in the model"
+                )
+
+        try:
+            if isinstance(until, Event):
+                stop_event = until
+                while not stop_event.processed:
+                    if not self._heap:
+                        raise RuntimeError(
+                            "simulation starved: awaited event can never fire"
+                        )
+                    bump()
+                    self._step()
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event.value
+            horizon = float("inf") if until is None else float(until)
+            while self._heap and self._heap[0][0] <= horizon:
+                bump()
+                self._step()
+            if until is not None and self.now < horizon:
+                self.now = horizon
+            return None
+        finally:
+            self._running = False
+
+    def _step(self) -> None:
+        t, _seq, action = heapq.heappop(self._heap)
+        if t < self.now:  # pragma: no cover - guarded by Timeout validation
+            raise RuntimeError("time went backwards")
+        self.now = t
+        action()
+
+    def peek(self) -> float:
+        """Time of the next scheduled action (inf if none)."""
+        return self._heap[0][0] if self._heap else float("inf")

@@ -1,0 +1,149 @@
+"""Failure injection: scheduled kills, stochastic MTBF, replacements.
+
+Two regimes, matching the paper's evaluation:
+
+- **Scheduled** (Fig. 10): "the first failure occurs at time step 4, the
+  second at time step 6; recovery starts at steps 8 and 12" — precise
+  (time, server) pairs, reproducible run to run.
+- **Stochastic**: exponential inter-failure times with a configurable MTBF,
+  used by survivability tests and the lazy-recovery deadline (MTBF/4,
+  Section III-D).
+
+The injector is decoupled from the staging service through two callbacks
+(``on_fail``, ``on_replace``) so it can drive any victim implementation.
+Optionally it can fail whole cabinets to exercise correlated failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.util.eventlog import EventLog
+
+__all__ = ["FailureSchedule", "FailureInjector"]
+
+
+@dataclass
+class FailureSchedule:
+    """A deterministic failure/replacement plan.
+
+    ``failures`` and ``replacements`` are lists of ``(time, server_id)``.
+    A replacement means a fresh server joins in place of the failed one,
+    enabling lazy recovery to begin (paper Section III-D).
+    """
+
+    failures: list[tuple[float, int]] = field(default_factory=list)
+    replacements: list[tuple[float, int]] = field(default_factory=list)
+
+    def add_failure(self, t: float, server_id: int) -> "FailureSchedule":
+        self.failures.append((float(t), int(server_id)))
+        return self
+
+    def add_replacement(self, t: float, server_id: int) -> "FailureSchedule":
+        self.replacements.append((float(t), int(server_id)))
+        return self
+
+    def validate(self) -> None:
+        failed = {}
+        for t, s in sorted(self.failures):
+            failed.setdefault(s, []).append(t)
+        for t, s in sorted(self.replacements):
+            if s not in failed or min(failed[s]) > t:
+                raise ValueError(f"replacement of server {s} at t={t} precedes its failure")
+
+
+class FailureInjector:
+    """Drives server failures and replacements against callback hooks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        on_fail: Callable[[int], None],
+        on_replace: Callable[[int], None] | None = None,
+        schedule: FailureSchedule | None = None,
+        mtbf_s: float | None = None,
+        n_servers: int | None = None,
+        rng: np.random.Generator | None = None,
+        log: EventLog | None = None,
+    ):
+        if schedule is None and mtbf_s is None:
+            raise ValueError("provide a schedule, an MTBF, or both")
+        if mtbf_s is not None:
+            if mtbf_s <= 0:
+                raise ValueError("mtbf_s must be positive")
+            if n_servers is None or n_servers < 1:
+                raise ValueError("stochastic mode requires n_servers")
+            if rng is None:
+                raise ValueError("stochastic mode requires an rng stream")
+        self.sim = sim
+        self.on_fail = on_fail
+        self.on_replace = on_replace
+        self.schedule = schedule
+        self.mtbf_s = mtbf_s
+        self.n_servers = n_servers
+        self.rng = rng
+        self.log = log
+        self.failed_servers: set[int] = set()
+        self.fail_count = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the injector processes on the simulator."""
+        if self.schedule is not None:
+            self.schedule.validate()
+            self.sim.process(self._run_schedule(), name="failure-schedule")
+        if self.mtbf_s is not None:
+            self.sim.process(self._run_stochastic(), name="failure-mtbf")
+
+    # ------------------------------------------------------------------
+    def _fail(self, server_id: int) -> None:
+        if server_id in self.failed_servers:
+            return  # already down; double-kill is a no-op
+        self.failed_servers.add(server_id)
+        self.fail_count += 1
+        if self.log is not None:
+            self.log.emit(self.sim.now, "server_failed", source=f"server{server_id}", server=server_id)
+        self.on_fail(server_id)
+
+    def _replace(self, server_id: int) -> None:
+        if server_id not in self.failed_servers:
+            return
+        self.failed_servers.discard(server_id)
+        if self.log is not None:
+            self.log.emit(self.sim.now, "server_replaced", source=f"server{server_id}", server=server_id)
+        if self.on_replace is not None:
+            self.on_replace(server_id)
+
+    def _run_schedule(self) -> Generator:
+        actions = [(t, "fail", s) for t, s in self.schedule.failures]
+        actions += [(t, "replace", s) for t, s in self.schedule.replacements]
+        actions.sort(key=lambda a: (a[0], a[1] == "replace", a[2]))
+        for t, what, server in actions:
+            delay = t - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            if what == "fail":
+                self._fail(server)
+            else:
+                self._replace(server)
+
+    def _run_stochastic(self) -> Generator:
+        """Exponential inter-failure process over the whole fleet.
+
+        The fleet-level failure rate is ``n_servers / mtbf_s`` (each server
+        fails independently with the per-server MTBF).  Victims are chosen
+        uniformly among currently-alive servers.
+        """
+        fleet_rate = self.n_servers / self.mtbf_s
+        while True:
+            gap = float(self.rng.exponential(1.0 / fleet_rate))
+            yield self.sim.timeout(gap)
+            alive = [s for s in range(self.n_servers) if s not in self.failed_servers]
+            if not alive:
+                return
+            victim = int(self.rng.choice(alive))
+            self._fail(victim)

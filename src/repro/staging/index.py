@@ -1,0 +1,65 @@
+"""Spatial index: block -> primary staging server.
+
+DataSpaces distributes the staged domain across servers with a DHT over a
+space-filling decomposition.  We reproduce the essential property — a
+*deterministic, balanced* mapping from spatial blocks to servers that every
+client can compute locally — with a block-grid round-robin assignment
+(optionally hashed for de-clustering).
+"""
+
+from __future__ import annotations
+
+from repro.staging.domain import BBox, Domain
+from repro.util.rng import stable_hash
+
+__all__ = ["SpatialIndex"]
+
+
+class SpatialIndex:
+    """Maps domain blocks to primary servers.
+
+    Parameters
+    ----------
+    domain:
+        The global staged domain.
+    n_servers:
+        Number of staging servers.
+    scheme:
+        ``"round_robin"`` (default) assigns block ``b`` to server
+        ``b % n_servers`` — preserving spatial striding, which is what the
+        original DataSpaces layout achieves; ``"hash"`` de-clusters blocks
+        pseudo-randomly but deterministically.
+    """
+
+    def __init__(self, domain: Domain, n_servers: int, scheme: str = "round_robin"):
+        if n_servers < 1:
+            raise ValueError("need at least one server")
+        if scheme not in ("round_robin", "hash"):
+            raise ValueError(f"unknown scheme {scheme!r}")
+        self.domain = domain
+        self.n_servers = n_servers
+        self.scheme = scheme
+
+    # ------------------------------------------------------------------
+    def primary_of_block(self, block_id: int, name: str = "") -> int:
+        """Primary server for one block of one variable."""
+        if not 0 <= block_id < self.domain.n_blocks:
+            raise IndexError(f"block {block_id} out of range")
+        if self.scheme == "round_robin":
+            return block_id % self.n_servers
+        return (stable_hash(f"{name}/{block_id}")) % self.n_servers
+
+    def locate(self, box: BBox, name: str = "") -> dict[int, list[int]]:
+        """Map a query box to ``{server: [block ids]}`` covering it."""
+        out: dict[int, list[int]] = {}
+        for bid in self.domain.blocks_overlapping(box):
+            srv = self.primary_of_block(bid, name)
+            out.setdefault(srv, []).append(bid)
+        return out
+
+    def blocks_per_server(self, name: str = "") -> dict[int, int]:
+        """Block-count load per server (for balance assertions)."""
+        counts = {s: 0 for s in range(self.n_servers)}
+        for bid in range(self.domain.n_blocks):
+            counts[self.primary_of_block(bid, name)] += 1
+        return counts

@@ -1,0 +1,116 @@
+"""Distributed object directory.
+
+Tracks, for every block entity, where its primary copy, replicas and stripe
+shards live.  In DataSpaces the directory is itself distributed across the
+staging servers; we reproduce that by assigning each entity's metadata to an
+owner server (by hash) and charging a metadata network message whenever a
+*remote* component updates it — that is the "metadata" slice of the paper's
+Figure 9 time breakdown.
+
+The directory's *content* lives in one Python structure for simplicity
+(perfectly consistent metadata), while the *cost* of keeping it consistent
+is modelled through the owner mapping.
+"""
+
+from __future__ import annotations
+
+from repro.staging.domain import BBox, Domain
+from repro.staging.objects import BlockEntity, ResilienceState, StripeInfo
+from repro.util.rng import stable_hash
+
+__all__ = ["MetadataDirectory"]
+
+
+class MetadataDirectory:
+    """Entity registry plus metadata-owner mapping."""
+
+    def __init__(self, domain: Domain, n_servers: int):
+        self.domain = domain
+        self.n_servers = n_servers
+        self.entities: dict[tuple[str, int], BlockEntity] = {}
+        self.stripes: dict[int, StripeInfo] = {}
+        self._next_stripe_id = 0
+
+    # ------------------------------------------------------------------
+    def owner_of(self, entity_key: tuple[str, int]) -> int:
+        """Metadata owner server for an entity (hash distribution)."""
+        name, block_id = entity_key
+        return stable_hash(f"meta:{name}/{block_id}") % self.n_servers
+
+    def get_or_create(self, name: str, block_id: int, primary: int) -> BlockEntity:
+        key = (name, block_id)
+        ent = self.entities.get(key)
+        if ent is None:
+            ent = BlockEntity(
+                name=name,
+                block_id=block_id,
+                bbox=self.domain.block_bbox(block_id),
+                primary=primary,
+            )
+            self.entities[key] = ent
+        return ent
+
+    def get(self, name: str, block_id: int) -> BlockEntity | None:
+        return self.entities.get((name, block_id))
+
+    def require(self, name: str, block_id: int) -> BlockEntity:
+        ent = self.get(name, block_id)
+        if ent is None:
+            raise KeyError(f"no staged entity {name}/{block_id}")
+        return ent
+
+    # ------------------------------------------------------------------
+    def new_stripe_id(self) -> int:
+        sid = self._next_stripe_id
+        self._next_stripe_id += 1
+        return sid
+
+    def register_stripe(self, stripe: StripeInfo) -> None:
+        self.stripes[stripe.stripe_id] = stripe
+
+    def drop_stripe(self, stripe_id: int) -> None:
+        self.stripes.pop(stripe_id, None)
+
+    # ------------------------------------------------------------------
+    # aggregate queries used by metrics and tests
+    # ------------------------------------------------------------------
+    def entities_on_server(self, server_id: int) -> list[BlockEntity]:
+        """Entities whose primary copy lives on ``server_id``."""
+        return [e for e in self.entities.values() if e.primary == server_id]
+
+    def entities_in_state(self, state: ResilienceState) -> list[BlockEntity]:
+        return [e for e in self.entities.values() if e.state == state]
+
+    def storage_breakdown(self) -> dict[str, int]:
+        """Bytes of original data vs redundancy currently promised.
+
+        Computed from metadata (entity sizes and states), independent of the
+        per-server stores, so tests can cross-check the two.
+        """
+        original = 0
+        replica_overhead = 0
+        parity_overhead = 0
+        counted_stripes: set[int] = set()
+        for ent in self.entities.values():
+            if ent.version < 0:
+                continue
+            original += ent.nbytes
+            if ent.replicas:
+                # Replicas may persist through a pending demotion, so they
+                # are counted by presence, not by state.
+                replica_overhead += ent.nbytes * len(ent.replicas)
+            if ent.state == ResilienceState.ENCODED and ent.stripe is not None:
+                if ent.stripe.stripe_id not in counted_stripes:
+                    counted_stripes.add(ent.stripe.stripe_id)
+                    parity_overhead += ent.stripe.shard_len * ent.stripe.m
+        return {
+            "original": original,
+            "replica_overhead": replica_overhead,
+            "parity_overhead": parity_overhead,
+        }
+
+    def storage_efficiency(self) -> float:
+        """original / (original + redundancy); 1.0 when nothing is staged."""
+        b = self.storage_breakdown()
+        total = b["original"] + b["replica_overhead"] + b["parity_overhead"]
+        return b["original"] / total if total else 1.0

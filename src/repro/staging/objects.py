@@ -1,0 +1,186 @@
+"""Object model of the staging service.
+
+The unit of resilience is the *block entity*: one spatial block of one
+staged variable.  Writers update entities with new versions; the resilience
+policy attaches a protection state (replicated / erasure coded) to each
+entity; the classifier tracks each entity's write history.
+
+Payloads are real byte buffers (numpy ``uint8``) so that recovery tests can
+assert byte-exact reconstruction after failures — the simulator models the
+*time* of operations while the object layer performs the actual data
+manipulation.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.staging.domain import BBox
+
+__all__ = ["ObjectId", "DataObject", "ResilienceState", "BlockEntity", "StripeInfo"]
+
+
+@dataclass(frozen=True)
+class ObjectId:
+    """Identity of one staged object version: (variable, block, version)."""
+
+    name: str
+    block_id: int
+    version: int
+
+    def key(self) -> str:
+        return f"{self.name}/{self.block_id}@{self.version}"
+
+    def entity_key(self) -> tuple[str, int]:
+        """The version-less entity this object belongs to."""
+        return (self.name, self.block_id)
+
+
+def payload_digest(data: np.ndarray) -> str:
+    """Short stable digest for byte-exact comparison in tests."""
+    return hashlib.blake2b(np.ascontiguousarray(data, dtype=np.uint8).tobytes(), digest_size=12).hexdigest()
+
+
+@dataclass
+class DataObject:
+    """One staged object version with its payload."""
+
+    oid: ObjectId
+    bbox: BBox
+    payload: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.payload = np.ascontiguousarray(self.payload, dtype=np.uint8).ravel()
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.payload.size)
+
+    def digest(self) -> str:
+        return payload_digest(self.payload)
+
+
+class ResilienceState(enum.Enum):
+    """Protection state of a block entity."""
+
+    NONE = "none"            # staged only on its primary (no fault tolerance)
+    REPLICATED = "replicated"  # N_level full copies on other servers
+    ENCODED = "encoded"      # member of an erasure-coded stripe
+    PENDING_STRIPE = "pending"  # queued for encoding, not yet in a stripe
+
+
+@dataclass
+class StripeInfo:
+    """One erasure-coded stripe: k data slots plus m parities.
+
+    ``members[i]`` is the entity key occupying data-shard slot ``i`` or
+    ``None`` for a *vacant* slot (an all-zero virtual shard — created when a
+    member is promoted back to replication, or when a partial stripe is
+    flushed).  ``shard_servers`` lists the server responsible for each of
+    the ``k+m`` shards (data first); vacant slots keep their placeholder
+    server so a later entity on that server can refill the slot with a
+    cheap parity delta-update.  ``lengths`` are original payload lengths
+    (0 for vacant); decode strips the padding.  ``member_versions`` pins the
+    entity version each slot currently encodes.
+    """
+
+    stripe_id: int
+    k: int
+    m: int
+    members: list[Optional[tuple[str, int]]]
+    member_versions: dict[tuple[str, int], int]
+    shard_servers: list[int]
+    lengths: list[int]
+    shard_len: int
+    # The exact (padded) data-shard payloads the parity currently encodes.
+    # This is the read-before-overwrite baseline a real implementation gets
+    # for free by reading the old object during a read-modify-write; here
+    # the service applies writes through a separate path, so the stripe
+    # carries its baseline explicitly.  Used only for delta computation —
+    # failure reconstruction always decodes from the physically stored
+    # shards.  ``None`` entries are vacant (all-zero) slots.
+    baseline: list = field(default_factory=list, repr=False, compare=False)
+
+    def data_servers(self) -> list[int]:
+        return self.shard_servers[: self.k]
+
+    def parity_servers(self) -> list[int]:
+        return self.shard_servers[self.k :]
+
+    def shard_key(self, shard_index: int) -> str:
+        return f"stripe{self.stripe_id}/shard{shard_index}"
+
+    def member_shard_index(self, entity_key: tuple[str, int]) -> int:
+        return self.members.index(entity_key)
+
+    def vacant_slots(self) -> list[int]:
+        return [i for i, mk in enumerate(self.members) if mk is None]
+
+    def is_empty(self) -> bool:
+        """True when every data slot is vacant (stripe can be reclaimed)."""
+        return all(mk is None for mk in self.members)
+
+
+@dataclass
+class BlockEntity:
+    """One protected spatial block of a staged variable.
+
+    Carries the current version/payload bookkeeping, the resilience state,
+    and the access counters the CoREC classifier reads (paper Section II-C:
+    "we use reference counters to record the access frequency of each data
+    object").
+    """
+
+    name: str
+    block_id: int
+    bbox: BBox
+    primary: int
+    version: int = -1
+    nbytes: int = 0
+    state: ResilienceState = ResilienceState.NONE
+    replicas: list[int] = field(default_factory=list)
+    stripe: Optional[StripeInfo] = None
+
+    # --- classifier bookkeeping -------------------------------------
+    write_count: int = 0          # lifetime writes
+    ref_counter: int = 0          # accesses since the last state transition
+    last_write_time: float = -1.0
+    last_write_step: int = -1
+    digest: str = ""              # blake2b of the current payload
+    transition_in_flight: bool = False  # async promote/demote already queued
+    replica_bytes_accounted: int = 0    # logical replica bytes in the accountant
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.name, self.block_id)
+
+    @property
+    def current_oid(self) -> ObjectId:
+        return ObjectId(self.name, self.block_id, self.version)
+
+    def record_write(self, t: float, step: int, nbytes: int, digest: str) -> None:
+        self.version += 1
+        self.write_count += 1
+        self.ref_counter += 1
+        self.last_write_time = t
+        self.last_write_step = step
+        self.nbytes = nbytes
+        self.digest = digest
+
+    def reset_ref_counter(self) -> None:
+        """Reset on state transition, per the paper: "once it is erasure
+        coded, its access frequency is reset back to zero"."""
+        self.ref_counter = 0
+
+    def store_key(self, version: int | None = None) -> str:
+        v = self.version if version is None else version
+        return ObjectId(self.name, self.block_id, v).key()
+
+    def primary_key(self) -> str:
+        """Key under which the *current* primary copy is stored."""
+        return f"{self.name}/{self.block_id}"

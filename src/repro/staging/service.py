@@ -1,0 +1,440 @@
+"""Assembly of the resilient staging service.
+
+``StagingService`` wires together the simulator, the cluster/network models,
+the staging servers, the spatial index, the metadata directory, the shared
+runtime and one resilience policy, and exposes the DataSpaces-style client
+API: ``put(client, var, bbox)`` / ``get(client, var, bbox)`` as simulator
+process bodies, plus failure/replacement injection hooks.
+
+Payloads are deterministic synthetic bytes derived from
+``(variable, block, version)`` unless the caller supplies a real array, so
+reads can always be verified byte-exactly against what was staged — the
+correctness backbone of the failure/recovery tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Sequence
+
+import numpy as np
+
+from repro.core.metrics import Metrics
+from repro.core.partition import choose_block_shape
+from repro.core.placement import GroupLayout
+from repro.core.runtime import DataLossError, StagingRuntime, primary_key
+from repro.erasure.reedsolomon import StripeCodec
+from repro.sim.cluster import Cluster
+from repro.sim.engine import AllOf, Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.staging.domain import BBox, Domain
+from repro.staging.index import SpatialIndex
+from repro.staging.metadata import MetadataDirectory
+from repro.staging.objects import BlockEntity, ResilienceState, payload_digest
+from repro.staging.server import CostModel, StagingServer
+from repro.util.eventlog import EventLog
+from repro.util.rng import RngStreams, stable_hash
+
+__all__ = ["StagingConfig", "StagingService"]
+
+
+@dataclass
+class StagingConfig:
+    """Cluster, domain and code geometry of one staging deployment.
+
+    Defaults mirror the paper's Table I at reduced scale: 8 staging
+    servers, RS(k=3, m=1) (3 data + 1 parity objects), one replica,
+    67% storage-efficiency bound handled by the policy.
+    """
+
+    n_servers: int = 8
+    servers_per_node: int = 1
+    nodes_per_cabinet: int = 2
+    domain_shape: tuple[int, ...] = (64, 64, 64)
+    element_bytes: int = 1
+    object_max_bytes: int = 16 * 1024
+    n_level: int = 1  # replicas per entity; also the code's parity count m
+    k: int = 3
+    rs_construction: str = "cauchy"
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    costs: CostModel = field(default_factory=CostModel)
+    index_scheme: str = "round_robin"
+    topology_aware: bool = True
+    verify_reads: bool = True
+    # When True, a put is acknowledged once the primary copy is staged and
+    # the protection work (replicas / parity) continues in the background,
+    # contending with foreground requests — the large-scale deployment mode
+    # of the paper's S3D runs, where resilience overhead surfaces as
+    # interference rather than as blocking time.
+    async_protection: bool = False
+    # Optional multi-tier storage stack per server (list of
+    # :class:`repro.staging.tiers.StorageTier`) — the paper's future-work
+    # extension: redundancy placed on capacity tiers, live data in DRAM.
+    tiers: tuple = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_servers < self.k + self.n_level:
+            raise ValueError(
+                f"{self.n_servers} servers cannot host RS({self.k},{self.n_level}) stripes"
+            )
+
+
+class StagingService:
+    """One simulated staging deployment under one resilience policy."""
+
+    def __init__(self, config: StagingConfig, policy):
+        self.config = config
+        self.policy = policy
+        self.sim = Simulator()
+        self.streams = RngStreams(config.seed)
+        self.log = EventLog()
+        self.metrics = Metrics()
+
+        self.cluster = Cluster(
+            n_servers=config.n_servers,
+            servers_per_node=config.servers_per_node,
+            nodes_per_cabinet=config.nodes_per_cabinet,
+        )
+        self.network = Network(self.sim, config.network)
+        self.servers = [
+            StagingServer(
+                self.sim, sid, costs=config.costs,
+                tiers=(list(config.tiers) or None),
+            )
+            for sid in range(config.n_servers)
+        ]
+        block_shape = choose_block_shape(
+            config.domain_shape, config.element_bytes, config.object_max_bytes
+        )
+        self.domain = Domain(config.domain_shape, block_shape, config.element_bytes)
+        self.index = SpatialIndex(self.domain, config.n_servers, scheme=config.index_scheme)
+        self.directory = MetadataDirectory(self.domain, config.n_servers)
+        self.layout = GroupLayout(
+            self.cluster,
+            n_level=config.n_level,
+            k=config.k,
+            m=config.n_level,
+            topology_aware=config.topology_aware,
+        )
+        self.codec = StripeCodec(config.k, config.n_level, config.rs_construction)
+        self.runtime = StagingRuntime(
+            sim=self.sim,
+            network=self.network,
+            servers=self.servers,
+            directory=self.directory,
+            layout=self.layout,
+            metrics=self.metrics,
+            codec=self.codec,
+            log=self.log,
+        )
+        policy.attach(self.runtime)
+        self.step = 0
+        self.read_errors = 0
+        self._protect_procs: list = []
+
+    # ------------------------------------------------------------------
+    # synthetic payloads
+    # ------------------------------------------------------------------
+    @staticmethod
+    def synth_payload(name: str, block_id: int, version: int, nbytes: int) -> np.ndarray:
+        """Deterministic, version-distinct bytes for one object."""
+        base = stable_hash(f"{name}/{block_id}@{version}")
+        ramp = np.arange(nbytes, dtype=np.uint64)
+        return ((ramp * 131 + base) & 0xFF).astype(np.uint8)
+
+    def _block_payload(
+        self, name: str, block_id: int, version: int, region: BBox, data: np.ndarray | None
+    ) -> np.ndarray:
+        block_box = self.domain.block_bbox(block_id)
+        nbytes = self.domain.nbytes(block_box)
+        if data is None:
+            return self.synth_payload(name, block_id, version, nbytes)
+        # Slice the caller's region array down to this block.  A region that
+        # only partially covers the block is applied read-modify-write on
+        # top of the block's current content (zeros if never written).
+        eb = self.config.element_bytes
+        arr = np.ascontiguousarray(data)
+        if arr.size * arr.itemsize != region.volume * eb:
+            raise ValueError(
+                f"data has {arr.size * arr.itemsize} bytes; region {region} needs "
+                f"{region.volume * eb}"
+            )
+        # Element-wise byte view: (*region.shape, element_bytes).
+        grid = arr.view(np.uint8).reshape(region.shape + (eb,))
+        inter = block_box.intersect(region)
+        if inter is None:  # pragma: no cover - caller guarantees overlap
+            raise ValueError("block does not overlap the written region")
+        src = grid[
+            tuple(slice(il - rl, iu - rl) for il, iu, rl in zip(inter.lb, inter.ub, region.lb))
+        ]
+        if region.contains(block_box):
+            return np.ascontiguousarray(src).ravel()
+        # Partial write: overlay onto the existing block content.
+        base = np.zeros(block_box.shape + (eb,), dtype=np.uint8)
+        ent = self.directory.get(name, block_id)
+        if ent is not None and ent.version >= 0:
+            srv = self.servers[ent.primary]
+            cur = srv.store.get(primary_key(ent))
+            if cur is not None and cur.size == nbytes:
+                base = cur.reshape(block_box.shape + (eb,)).copy()
+        base[
+            tuple(slice(il - bl, iu - bl) for il, iu, bl in zip(inter.lb, inter.ub, block_box.lb))
+        ] = src
+        return base.ravel()
+
+    # ------------------------------------------------------------------
+    # client API (process bodies)
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        client_name: str,
+        name: str,
+        region: BBox,
+        data: np.ndarray | None = None,
+    ) -> Generator:
+        """Write ``region`` of variable ``name``; returns the response time.
+
+        The region is decomposed onto the block grid; blocks are staged
+        concurrently and the put completes when every block (including its
+        synchronous protection work) is durable.
+        """
+        t0 = self.sim.now
+        block_ids = self.domain.blocks_overlapping(region)
+        if not block_ids:
+            raise ValueError(f"region {region} outside the staged domain")
+        procs = [
+            self.sim.process(self._put_block(client_name, name, bid, region, data))
+            for bid in block_ids
+        ]
+        yield AllOf(self.sim, procs)
+        duration = self.sim.now - t0
+        self.metrics.record_put(t0, duration)
+        return duration
+
+    def _put_block(
+        self, client_name: str, name: str, block_id: int, region: BBox, data: np.ndarray | None
+    ) -> Generator:
+        primary = self.index.primary_of_block(block_id, name)
+        ent = self.directory.get_or_create(name, block_id, primary)
+        yield from self.runtime.with_entity_lock(
+            ent.key, self._put_block_locked(ent, client_name, region, data)
+        )
+
+    def _put_block_locked(
+        self, ent: BlockEntity, client_name: str, region: BBox, data: np.ndarray | None
+    ) -> Generator:
+        self._ensure_writable_primary(ent)
+        is_new = ent.version < 0
+        prev_bytes = ent.nbytes if not is_new else 0
+        payload = self._block_payload(ent.name, ent.block_id, ent.version + 1, region, data)
+        ent.record_write(self.sim.now, self.step, int(payload.size), payload_digest(payload))
+        self.metrics.storage.original += int(payload.size) - prev_bytes
+        if self.config.async_protection:
+            # Acknowledge once the primary copy is staged; protection runs
+            # in the background (serialized by the entity lock, so a later
+            # write cannot overtake this one's protection).
+            yield from self.runtime.ingest_primary(ent, client_name, payload)
+            proc = self.sim.process(
+                self._background_protect(ent, payload, self.step, is_new),
+                name=f"protect-{ent.name}-{ent.block_id}",
+            )
+            self._protect_procs.append(proc)
+        else:
+            yield from self.policy.on_write(ent, client_name, payload, self.step, is_new)
+        # Every write publishes its new version to the distributed
+        # directory, independent of the protection scheme.
+        yield from self.runtime.metadata_update(ent, ent.primary)
+
+    def _background_protect(self, ent: BlockEntity, payload, step: int, is_new: bool) -> Generator:
+        """Deferred protection: run the policy's write path from the primary.
+
+        The payload is already on the primary, so the policy's ingest leg
+        degenerates to a local copy; replication / parity maintenance then
+        contends with foreground requests, which is where the resilience
+        cost of the async mode shows up.
+        """
+        primary_name = self.servers[ent.primary].name
+        yield from self.runtime.with_entity_lock(
+            ent.key, self.policy.on_write(ent, primary_name, payload, step, is_new)
+        )
+
+    def get(
+        self,
+        client_name: str,
+        name: str,
+        region: BBox,
+        verify: bool | None = None,
+    ) -> Generator:
+        """Read ``region``; returns ``(response_time, payloads_by_block)``."""
+        t0 = self.sim.now
+        verify = self.config.verify_reads if verify is None else verify
+        block_ids = self.domain.blocks_overlapping(region)
+        if not block_ids:
+            raise ValueError(f"region {region} outside the staged domain")
+        procs = [
+            self.sim.process(self._get_block(client_name, name, bid, verify))
+            for bid in block_ids
+        ]
+        done = AllOf(self.sim, procs)
+        yield done
+        duration = self.sim.now - t0
+        self.metrics.record_get(t0, duration)
+        payloads = {bid: proc.value for bid, proc in zip(block_ids, procs)}
+        return duration, payloads
+
+    def _get_block(self, client_name: str, name: str, block_id: int, verify: bool) -> Generator:
+        ent = self.directory.get(name, block_id)
+        if ent is None or ent.version < 0:
+            raise KeyError(f"{name}/{block_id} has never been staged")
+        payload = yield from self.runtime.read_entity(
+            ent, client_name, repair=self.policy.repair_on_access
+        )
+        if verify and payload_digest(payload) != ent.digest:
+            self.read_errors += 1
+            raise DataLossError(
+                f"digest mismatch reading {name}/{block_id}@v{ent.version}"
+            )
+        return payload
+
+    # ------------------------------------------------------------------
+    # step orchestration
+    # ------------------------------------------------------------------
+    def end_step(self) -> Generator:
+        """Barrier at the end of a timestep (runs the policy's step hook).
+
+        In async-protection mode the barrier also quiesces the outstanding
+        background protection work, so step boundaries are always fully
+        protected states (failures injected at boundaries never hit the
+        unprotected ACK window).
+        """
+        if self._protect_procs:
+            pending = [p for p in self._protect_procs if p.is_alive]
+            self._protect_procs.clear()
+            if pending:
+                yield AllOf(self.sim, pending)
+        yield from self.policy.on_step_end(self.step)
+        self.metrics.sample_efficiency(self.sim.now)
+        self.step += 1
+
+    def flush(self) -> Generator:
+        """Force full protection of everything staged (workflow barrier)."""
+        yield from self.policy.on_flush()
+
+    def run(self, until=None):
+        return self.sim.run(until)
+
+    def run_workflow(self, workflow_gen) -> None:
+        """Drive a workflow generator to completion on the simulator."""
+        done = self.sim.process(workflow_gen, name="workflow")
+        self.sim.run(until=done)
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+    def fail_server(self, sid: int) -> None:
+        self.servers[sid].fail()
+        self.log.emit(self.sim.now, "server_failed", source=f"s{sid}", server=sid)
+        self.policy.on_server_failed(sid)
+
+    def replace_server(self, sid: int) -> None:
+        self.servers[sid].replace()
+        self.log.emit(self.sim.now, "server_replaced", source=f"s{sid}", server=sid)
+        self.policy.on_server_replaced(sid)
+
+    def _ensure_writable_primary(self, ent: BlockEntity) -> None:
+        """Redirect the entity's primary if its server is down (no cost:
+        pure metadata decision made from the directory)."""
+        if not self.servers[ent.primary].failed:
+            return
+        if ent.state == ResilienceState.REPLICATED:
+            live = [r for r in ent.replicas if not self.servers[r].failed]
+            if live:
+                new_primary = live[0]
+                srv = self.servers[new_primary]
+                if srv.has(f"R/{ent.name}/{ent.block_id}"):
+                    srv.store_bytes(primary_key(ent), srv.fetch_bytes(f"R/{ent.name}/{ent.block_id}"))
+                    srv.delete_bytes(f"R/{ent.name}/{ent.block_id}")
+                ent.primary = new_primary
+                ent.replicas = [r for r in ent.replicas if r != new_primary]
+                new_accounted = ent.nbytes * len(ent.replicas)
+                self.metrics.storage.replica += new_accounted - ent.replica_bytes_accounted
+                ent.replica_bytes_accounted = new_accounted
+                return
+        if ent.state == ResilienceState.ENCODED and ent.stripe is not None:
+            stripe = ent.stripe
+            slot = stripe.member_shard_index(ent.key)
+            members = self.layout.coding_group_members(
+                self.layout.coding_group_id(stripe.shard_servers[0])
+            )
+            free = [
+                s for s in members
+                if not self.servers[s].failed and s not in stripe.shard_servers
+            ]
+            alive = [s for s in members if not self.servers[s].failed]
+            if not alive:
+                raise DataLossError(f"coding group of {ent.key} entirely failed")
+            new_primary = free[0] if free else min(
+                alive, key=lambda s: (self.servers[s].workload_level(), s)
+            )
+            stripe.shard_servers[slot] = new_primary
+            ent.primary = new_primary
+            return
+        if ent.state == ResilienceState.PENDING_STRIPE:
+            self.runtime.redirect_pending(ent)
+            return
+        # Unprotected: place on the next alive ring successor.
+        ring = self.layout.ring
+        pos = self.layout.pos[ent.primary]
+        for off in range(1, len(ring)):
+            cand = ring[(pos + off) % len(ring)]
+            if not self.servers[cand].failed:
+                ent.primary = cand
+                return
+        raise DataLossError("no alive staging server available")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def alive_servers(self) -> list[int]:
+        return [s.server_id for s in self.servers if not s.failed]
+
+    def verify_all(self) -> dict:
+        """Off-line audit: try to serve every staged entity and verify it.
+
+        Runs the real read paths (replica fallback, degraded decode) on a
+        probe client without recording metrics-relevant response times as
+        application traffic.  Returns counts of verified and unrecoverable
+        entities — the end-of-run invariant most tests want in one call.
+        """
+        verified = 0
+        unrecoverable = []
+        for key in list(self.directory.entities):
+            ent = self.directory.entities[key]
+            if ent.version < 0:
+                continue
+
+            def probe(e=ent):
+                payload = yield from self.runtime.read_entity(e, "auditor", repair=False)
+                if payload_digest(payload) != e.digest:
+                    raise DataLossError(f"audit digest mismatch for {e.key}")
+
+            try:
+                self.run_workflow(probe())
+                verified += 1
+            except DataLossError:
+                unrecoverable.append(key)
+        return {"verified": verified, "unrecoverable": unrecoverable}
+
+    def storage_report(self) -> dict:
+        logical = self.directory.storage_breakdown()
+        return {
+            "logical": logical,
+            "accounted": {
+                "original": self.metrics.storage.original,
+                "replica": self.metrics.storage.replica,
+                "parity": self.metrics.storage.parity,
+            },
+            "efficiency": self.metrics.storage.efficiency(),
+            "physical_bytes": {s.name: s.bytes_stored for s in self.servers},
+        }

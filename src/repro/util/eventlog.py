@@ -1,0 +1,82 @@
+"""Structured event log shared by the simulator and the metrics layer.
+
+Every notable simulator occurrence (request served, object encoded, server
+failed, recovery completed, ...) is appended as an :class:`Event`.  Benchmarks
+and tests query the log instead of scraping printed output, which keeps the
+whole pipeline machine-checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One timestamped simulator event.
+
+    Attributes
+    ----------
+    t:
+        Simulation time (seconds).
+    kind:
+        Event category, e.g. ``"put"``, ``"get"``, ``"encode"``,
+        ``"server_failed"``, ``"object_recovered"``.
+    source:
+        Name of the emitting component (server id, client id, ...).
+    data:
+        Free-form payload for the event.
+    """
+
+    t: float
+    kind: str
+    source: str = ""
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only event log with filtered iteration helpers."""
+
+    def __init__(self, capacity: int | None = None):
+        self._events: list[Event] = []
+        self._capacity = capacity
+        self._listeners: list[Callable[[Event], None]] = []
+
+    def emit(self, t: float, kind: str, source: str = "", **data: Any) -> Event:
+        ev = Event(t=float(t), kind=kind, source=source, data=data)
+        if self._capacity is None or len(self._events) < self._capacity:
+            self._events.append(ev)
+        for listener in self._listeners:
+            listener(ev)
+        return ev
+
+    def subscribe(self, listener: Callable[[Event], None]) -> None:
+        """Register a callback invoked synchronously for every event."""
+        self._listeners.append(listener)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_kind(self, *kinds: str) -> list[Event]:
+        wanted = set(kinds)
+        return [e for e in self._events if e.kind in wanted]
+
+    def between(self, t0: float, t1: float, kinds: Iterable[str] | None = None) -> list[Event]:
+        wanted = set(kinds) if kinds is not None else None
+        return [
+            e
+            for e in self._events
+            if t0 <= e.t < t1 and (wanted is None or e.kind in wanted)
+        ]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self._events if e.kind == kind)
+
+    def clear(self) -> None:
+        self._events.clear()

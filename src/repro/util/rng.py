@@ -1,0 +1,64 @@
+"""Deterministic, named random-number streams.
+
+Simulation reproducibility requires that independent sources of randomness
+(failure injection, workload generation, random placement, ...) draw from
+*independent* streams derived from a single root seed.  Otherwise adding one
+more draw in one component silently perturbs every other component, which
+makes A/B comparisons between resilience policies meaningless.
+
+``RngStreams`` hands out :class:`numpy.random.Generator` instances keyed by a
+string name.  The same ``(root_seed, name)`` pair always produces the same
+stream, regardless of the order in which streams are requested.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngStreams", "stable_hash"]
+
+
+def stable_hash(text: str) -> int:
+    """Return a stable 64-bit hash of ``text``.
+
+    Python's built-in ``hash`` is salted per process, so it cannot be used to
+    derive reproducible seeds.  We use blake2b instead.
+    """
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class RngStreams:
+    """A registry of independent named RNG streams under one root seed.
+
+    Examples
+    --------
+    >>> streams = RngStreams(seed=42)
+    >>> a = streams.get("failures")
+    >>> b = streams.get("workload")
+    >>> a is streams.get("failures")
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the stream for ``name``, creating it deterministically."""
+        gen = self._streams.get(name)
+        if gen is None:
+            child_seed = np.random.SeedSequence([self.seed, stable_hash(name)])
+            gen = np.random.Generator(np.random.PCG64(child_seed))
+            self._streams[name] = gen
+        return gen
+
+    def spawn(self, name: str) -> "RngStreams":
+        """Derive a child registry with an independent seed space."""
+        return RngStreams(seed=(self.seed * 0x9E3779B1 + stable_hash(name)) % (2**63))
+
+    def reset(self) -> None:
+        """Drop all streams so the next ``get`` starts each one afresh."""
+        self._streams.clear()

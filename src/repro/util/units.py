@@ -1,0 +1,30 @@
+"""Byte/time unit constants and human-readable formatting."""
+
+from __future__ import annotations
+
+__all__ = ["KB", "MB", "GB", "fmt_bytes", "fmt_time"]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count, e.g. ``fmt_bytes(320*MB) == '320.0 MB'``."""
+    n = float(n)
+    for unit, label in ((GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(n) >= unit:
+            return f"{n / unit:.1f} {label}"
+    return f"{n:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration in the most natural unit."""
+    s = float(seconds)
+    if abs(s) >= 60.0:
+        return f"{s / 60.0:.2f} min"
+    if abs(s) >= 1.0:
+        return f"{s:.3f} s"
+    if abs(s) >= 1e-3:
+        return f"{s * 1e3:.3f} ms"
+    return f"{s * 1e6:.1f} us"

@@ -1,0 +1,31 @@
+"""Workload generators for the evaluation.
+
+- :mod:`repro.workloads.synthetic` — the five Section IV test cases
+  (write-everything, rotating subdomains, hot subsets, random subsets,
+  read-everything) with failure-plan hooks;
+- :mod:`repro.workloads.s3d` — the S3D-like combustion workflow at the
+  paper's Table II weak-scaling configurations (proportionally reduced);
+- :mod:`repro.workloads.trace` — access-trace recording and replay.
+"""
+
+from repro.workloads.synthetic import (
+    SyntheticWorkload,
+    SyntheticWorkloadConfig,
+    writer_regions,
+    reader_regions,
+)
+from repro.workloads.s3d import S3DWorkload, S3DConfig, TABLE_II
+from repro.workloads.trace import AccessTrace, TraceOp, TraceRecorder
+
+__all__ = [
+    "SyntheticWorkload",
+    "SyntheticWorkloadConfig",
+    "writer_regions",
+    "reader_regions",
+    "S3DWorkload",
+    "S3DConfig",
+    "TABLE_II",
+    "AccessTrace",
+    "TraceOp",
+    "TraceRecorder",
+]

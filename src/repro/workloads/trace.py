@@ -1,0 +1,140 @@
+"""Access-trace recording and replay.
+
+Captures the (step, op, variable, region, client) tuples a workload issues
+so experiments can be replayed bit-identically against a different policy,
+or exported for offline analysis of access patterns (e.g. to validate the
+classifier against ground truth).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, asdict
+from typing import Generator, Iterable
+
+from repro.sim.engine import AllOf
+from repro.staging.domain import BBox
+
+__all__ = ["TraceOp", "AccessTrace", "TraceRecorder"]
+
+
+class TraceRecorder:
+    """Instrument a staging service so client ops are recorded as a trace.
+
+    Wraps the service's ``put``/``get`` entry points; the recorded trace
+    can be replayed bit-identically against another deployment or policy::
+
+        recorder = TraceRecorder(service)
+        ... run a workload ...
+        recorder.trace.save("run.trace.json")
+
+    Only client-visible operations are recorded (not the resilience
+    traffic), which is exactly what a replay needs.
+    """
+
+    def __init__(self, service):
+        self.service = service
+        self.trace = AccessTrace()
+        self._orig_put = service.put
+        self._orig_get = service.get
+        service.put = self._put
+        service.get = self._get
+
+    def _put(self, client_name, name, region, data=None):
+        self.trace.record(self.service.step, "put", client_name, name, region)
+        return self._orig_put(client_name, name, region, data)
+
+    def _get(self, client_name, name, region, verify=None):
+        self.trace.record(self.service.step, "get", client_name, name, region)
+        return self._orig_get(client_name, name, region, verify)
+
+    def detach(self) -> "AccessTrace":
+        """Restore the service's methods; returns the recorded trace."""
+        for attr in ("put", "get"):
+            self.service.__dict__.pop(attr, None)  # restore class lookup
+        return self.trace
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One recorded client operation."""
+
+    step: int
+    op: str          # "put" | "get"
+    client: str
+    var: str
+    lb: tuple[int, ...]
+    ub: tuple[int, ...]
+
+    @property
+    def bbox(self) -> BBox:
+        return BBox(self.lb, self.ub)
+
+
+class AccessTrace:
+    """An ordered list of operations grouped by timestep."""
+
+    def __init__(self, ops: Iterable[TraceOp] = ()):
+        self.ops: list[TraceOp] = list(ops)
+
+    def record(self, step: int, op: str, client: str, var: str, box: BBox) -> None:
+        if op not in ("put", "get"):
+            raise ValueError(f"unknown op {op!r}")
+        self.ops.append(TraceOp(step, op, client, var, tuple(box.lb), tuple(box.ub)))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def steps(self) -> list[int]:
+        return sorted({o.step for o in self.ops})
+
+    def ops_for_step(self, step: int) -> list[TraceOp]:
+        return [o for o in self.ops if o.step == step]
+
+    # ------------------------------------------------------------------
+    def replay(self, service) -> Generator:
+        """Process body: replay the trace against a staging service.
+
+        Operations within one step run concurrently; steps are barriers
+        (matching how the synthetic workloads drive the service).
+        """
+        sim = service.sim
+        for step in self.steps():
+            procs = []
+            for o in self.ops_for_step(step):
+                if o.op == "put":
+                    procs.append(sim.process(service.put(o.client, o.var, o.bbox)))
+                else:
+                    procs.append(sim.process(service.get(o.client, o.var, o.bbox)))
+            if procs:
+                yield AllOf(sim, procs)
+            yield from service.end_step()
+        yield from service.flush()
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps([asdict(o) for o in self.ops])
+
+    @classmethod
+    def from_json(cls, text: str) -> "AccessTrace":
+        raw = json.loads(text)
+        return cls(
+            TraceOp(
+                step=int(o["step"]),
+                op=o["op"],
+                client=o["client"],
+                var=o["var"],
+                lb=tuple(o["lb"]),
+                ub=tuple(o["ub"]),
+            )
+            for o in raw
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "AccessTrace":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())

@@ -1,0 +1,168 @@
+"""Tests for stripe compaction, slot retargeting and vacancy reuse."""
+
+import pytest
+
+from repro.staging.objects import ResilienceState
+
+from tests.conftest import accounting_consistent, make_service, stripes_consistent
+from tests.core.test_runtime import TestEncodedUpdates, stage_entity
+
+
+def drive(svc, gen):
+    return svc.run_workflow(gen)
+
+
+class TestSlotRetargeting:
+    def test_fill_rejects_occupied_slot(self):
+        svc = make_service("none")
+        ents = TestEncodedUpdates().setup_stripe(svc)
+        stripe = ents[0].stripe
+        # Slot 0 is occupied; a direct fill attempt must refuse it.
+        ent, _ = stage_entity(svc, svc.domain.n_blocks - 1)
+
+        def attempt():
+            filled = yield from svc.runtime.with_stripe_lock(
+                stripe.stripe_id, svc.runtime._fill_slot(stripe, 0, ent)
+            )
+            assert filled is False
+
+        drive(svc, attempt())
+
+    def test_fill_rejects_server_doubling(self):
+        svc = make_service("none")
+        ents = TestEncodedUpdates().setup_stripe(svc)
+        stripe = ents[0].stripe
+        # Vacate member 0's slot, then retarget its placeholder to a server
+        # that already holds another shard of the stripe (as a failure
+        # redirect could); refilling from that server must refuse.
+        drive(svc, svc.runtime.extract_from_stripe(ents[0]))
+        slot = 0
+        stripe.shard_servers[slot] = 999  # placeholder moved off-group
+        doubling_primary = stripe.shard_servers[1]
+        ent = ents[1]  # its primary already holds shard 1
+
+        def attempt():
+            filled = yield from svc.runtime.with_stripe_lock(
+                stripe.stripe_id, svc.runtime._fill_slot(stripe, slot, ent)
+            )
+            assert filled is False
+
+        # ents[1] is still a member; use a fresh entity (other variable) on
+        # the same server.
+        bid = next(
+            b for b in range(svc.domain.n_blocks)
+            if svc.index.primary_of_block(b) == doubling_primary
+        )
+        fresh = svc.directory.get_or_create("w", bid, doubling_primary)
+        payload = svc.synth_payload("w", bid, 0, svc.domain.nbytes(svc.domain.block_bbox(bid)))
+
+        def ingest():
+            from repro.staging.objects import payload_digest
+
+            fresh.record_write(svc.sim.now, 0, int(payload.size), payload_digest(payload))
+            svc.metrics.storage.original += int(payload.size)
+            yield from svc.runtime.ingest_primary(fresh, "w0", payload)
+
+        drive(svc, ingest())
+
+        def attempt_fresh():
+            filled = yield from svc.runtime.with_stripe_lock(
+                stripe.stripe_id, svc.runtime._fill_slot(stripe, slot, fresh)
+            )
+            assert filled is False
+
+        drive(svc, attempt_fresh())
+
+    def test_extract_keeps_shard_servers_unique(self):
+        svc = make_service("none")
+        ents = TestEncodedUpdates().setup_stripe(svc)
+        drive(svc, svc.runtime.extract_from_stripe(ents[0]))
+        for s in svc.directory.stripes.values():
+            assert len(set(s.shard_servers)) == len(s.shard_servers)
+
+
+class TestCompaction:
+    def build_sparse_stripes(self, svc):
+        """Create several stripes, then vacate members to leave sparse ones."""
+        helper = TestEncodedUpdates()
+        # Stage many entities and stripe them via the erasure-style path.
+        keys = []
+        for bid in range(svc.domain.n_blocks):
+            ent, _ = stage_entity(svc, bid)
+            svc.runtime.enqueue_for_encoding(ent)
+            keys.append(ent.key)
+        for gid in range(svc.layout.n_coding_groups()):
+            drive(svc, svc.runtime.flush_pending(gid))
+        return keys
+
+    def test_compaction_reduces_stripes(self):
+        svc = make_service("none")
+        self.build_sparse_stripes(svc)
+        before = len(svc.directory.stripes)
+        # Vacate one member of every stripe to create k vacancies per group.
+        for stripe in list(svc.directory.stripes.values()):
+            mk = next(m for m in stripe.members if m is not None)
+            ent = svc.directory.entities[mk]
+            drive(svc, svc.runtime.extract_from_stripe(ent))
+            # Re-protect the extracted entity by replication so it is not
+            # re-enqueued into the pool (isolating the compaction effect).
+            drive(svc, svc.runtime.replicate_entity(
+                ent, svc.servers[ent.primary].fetch_bytes(f"P/{ent.name}/{ent.block_id}")
+            ))
+        parity_before = svc.metrics.storage.parity
+        for gid in range(svc.layout.n_coding_groups()):
+            drive(svc, svc.runtime.compact_group(gid))
+        assert len(svc.directory.stripes) <= before
+        assert svc.metrics.storage.parity <= parity_before
+        assert stripes_consistent(svc)
+        assert accounting_consistent(svc)
+
+    def test_compaction_noop_when_dense(self):
+        svc = make_service("none")
+        self.build_sparse_stripes(svc)
+        stripes_before = dict(svc.directory.stripes)
+        for gid in range(svc.layout.n_coding_groups()):
+            drive(svc, svc.runtime.compact_group(gid))
+        # Fully-populated stripes (modulo the flush stragglers) move little:
+        # every stripe id still present is still consistent.
+        assert stripes_consistent(svc)
+        assert set(svc.directory.stripes) <= set(stripes_before) | set(svc.directory.stripes)
+
+    def test_compaction_preserves_data(self):
+        svc = make_service("none")
+        self.build_sparse_stripes(svc)
+        for stripe in list(svc.directory.stripes.values()):
+            mk = next((m for m in stripe.members if m is not None), None)
+            if mk is None:
+                continue
+            ent = svc.directory.entities[mk]
+            drive(svc, svc.runtime.extract_from_stripe(ent))
+            svc.runtime.enqueue_for_encoding(ent)
+        for gid in range(svc.layout.n_coding_groups()):
+            drive(svc, svc.runtime.encode_pending(gid))
+            drive(svc, svc.runtime.compact_group(gid))
+        # Every encoded entity must decode byte-exactly with its primary gone.
+        from repro.core.runtime import primary_key
+
+        for ent in svc.directory.entities.values():
+            if ent.state != ResilienceState.ENCODED:
+                continue
+            expected = svc.servers[ent.primary].fetch_bytes(primary_key(ent)).copy()
+
+            def degraded(e=ent, exp=expected):
+                payload, _ = yield from svc.runtime.reconstruct_shard(
+                    e.stripe, e.stripe.member_shard_index(e.key)
+                )
+                assert (payload[: e.nbytes] == exp).all()
+
+            # Simulate target-shard absence by checking reconstruction from
+            # the remaining shards (drop the target from availability).
+            avail = svc.runtime._available_shards(ent.stripe)
+            slot = ent.stripe.member_shard_index(ent.key)
+            others = {i: v for i, v in avail.items() if i != slot}
+            if len(others) >= ent.stripe.k:
+                present = {
+                    i: svc.runtime._shard_payload(ent.stripe, i) for i in list(others)[: ent.stripe.k]
+                }
+                rec = svc.codec.code.reconstruct_shard(present, slot)
+                assert (rec[: ent.nbytes] == expected).all()

@@ -1,0 +1,111 @@
+"""Tests for the MTBF/MTTR durability model."""
+
+import math
+
+import pytest
+
+from repro.core.durability import (
+    DurabilityParams,
+    annual_loss_probability,
+    group_mttdl,
+    recovery_deadline_tradeoff,
+    system_mttdl,
+)
+
+
+def params(**kw):
+    defaults = dict(mtbf_s=1e6, mttr_s=1e3, group_size=4, tolerance=1)
+    defaults.update(kw)
+    return DurabilityParams(**defaults)
+
+
+class TestValidation:
+    def test_positive_rates(self):
+        with pytest.raises(ValueError):
+            params(mtbf_s=0)
+        with pytest.raises(ValueError):
+            params(mttr_s=-1)
+
+    def test_tolerance_range(self):
+        with pytest.raises(ValueError):
+            params(tolerance=4)
+        with pytest.raises(ValueError):
+            params(tolerance=-1)
+
+    def test_group_size(self):
+        with pytest.raises(ValueError):
+            DurabilityParams(1e6, 1e3, 0, 0)
+
+
+class TestGroupMttdl:
+    def test_zero_tolerance_closed_form(self):
+        # Without redundancy, loss at the first member failure:
+        # MTTDL = MTBF / group_size exactly.
+        p = params(tolerance=0)
+        assert group_mttdl(p) == pytest.approx(p.mtbf_s / p.group_size)
+
+    def test_matches_classic_approximation(self):
+        # MTTR << MTBF: the classic approximation
+        # MTBF^2 / (n (n-1) MTTR) for m=1 should be close.
+        p = params(mtbf_s=1e7, mttr_s=1e2, group_size=4, tolerance=1)
+        approx = p.mtbf_s**2 / (p.group_size * (p.group_size - 1) * p.mttr_s)
+        assert group_mttdl(p) == pytest.approx(approx, rel=0.05)
+
+    def test_more_tolerance_more_durable(self):
+        base = group_mttdl(params(group_size=5, tolerance=1))
+        better = group_mttdl(params(group_size=5, tolerance=2))
+        assert better > 10 * base
+
+    def test_faster_repair_more_durable(self):
+        slow = group_mttdl(params(mttr_s=1e4))
+        fast = group_mttdl(params(mttr_s=1e2))
+        assert fast > slow
+
+    def test_larger_group_less_durable(self):
+        small = group_mttdl(params(group_size=4))
+        large = group_mttdl(params(group_size=8))
+        assert small > large
+
+
+class TestSystemLevel:
+    def test_system_scales_inverse_with_groups(self):
+        p = params()
+        assert system_mttdl(p, 10) == pytest.approx(group_mttdl(p) / 10)
+
+    def test_n_groups_validation(self):
+        with pytest.raises(ValueError):
+            system_mttdl(params(), 0)
+
+    def test_annual_loss_probability_bounds(self):
+        prob = annual_loss_probability(params(), n_groups=4)
+        assert 0.0 < prob < 1.0
+
+    def test_annual_loss_probability_monotone_in_groups(self):
+        p = params()
+        assert annual_loss_probability(p, 10) > annual_loss_probability(p, 1)
+
+
+class TestDeadlineTradeoff:
+    def test_rows_and_monotonicity(self):
+        rows = recovery_deadline_tradeoff(
+            mtbf_s=400.0 * 3600, group_size=4, tolerance=1
+        )
+        fractions = [r["deadline_fraction"] for r in rows]
+        assert fractions == sorted(fractions)
+        mttdl = [r["group_mttdl_s"] for r in rows]
+        # Longer deadlines strictly reduce durability.
+        assert mttdl == sorted(mttdl, reverse=True)
+
+    def test_papers_quarter_choice_is_safe_zone(self):
+        """At MTBF/4, the annual loss probability stays far below the
+        always-immediate (fraction ~ 0) regime's advantage would suggest —
+        the durability cost of laziness is bounded."""
+        rows = recovery_deadline_tradeoff(
+            mtbf_s=400.0 * 3600, group_size=4, tolerance=1,
+            deadline_fractions=(0.01, 0.25, 1.0),
+        )
+        by = {r["deadline_fraction"]: r for r in rows}
+        # A quarter-MTBF deadline costs less than 30x the near-immediate
+        # variant, while a full-MTBF deadline costs yet more.
+        assert by[0.25]["group_mttdl_s"] > by[1.0]["group_mttdl_s"]
+        assert by[0.01]["group_mttdl_s"] / by[0.25]["group_mttdl_s"] < 30

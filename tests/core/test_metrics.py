@@ -1,0 +1,87 @@
+"""Tests for metrics and storage accounting."""
+
+import pytest
+
+from repro.core.metrics import BREAKDOWN_CATEGORIES, Metrics, StorageAccountant
+
+
+class TestStorageAccountant:
+    def test_empty_efficiency_is_one(self):
+        assert StorageAccountant().efficiency() == 1.0
+
+    def test_replication_efficiency(self):
+        acc = StorageAccountant(original=100, replica=100)
+        assert acc.efficiency() == 0.5
+        assert acc.overhead_ratio() == 1.0
+
+    def test_erasure_efficiency(self):
+        acc = StorageAccountant(original=300, parity=100)
+        assert acc.efficiency() == 0.75
+
+    def test_would_be_efficiency(self):
+        acc = StorageAccountant(original=100)
+        assert acc.would_be_efficiency(d_replica=100) == 0.5
+        assert acc.efficiency() == 1.0  # unchanged
+
+    def test_would_be_with_original_delta(self):
+        acc = StorageAccountant(original=100, replica=50)
+        assert acc.would_be_efficiency(d_original=50) == pytest.approx(150 / 200)
+
+    def test_overhead_ratio_empty(self):
+        assert StorageAccountant().overhead_ratio() == 0.0
+
+
+class TestMetrics:
+    def test_breakdown_categories_initialized(self):
+        m = Metrics()
+        assert set(m.breakdown) == set(BREAKDOWN_CATEGORIES)
+
+    def test_add_time(self):
+        m = Metrics()
+        m.add_time("encode", 1.5)
+        m.add_time("encode", 0.5)
+        assert m.breakdown["encode"] == 2.0
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(KeyError):
+            Metrics().add_time("quantum", 1.0)
+
+    def test_counters(self):
+        m = Metrics()
+        m.count("x")
+        m.count("x", 2)
+        assert m.counters["x"] == 3
+
+    def test_record_put_get(self):
+        m = Metrics()
+        m.record_put(0.0, 0.1)
+        m.record_put(1.0, 0.3)
+        m.record_get(2.0, 0.05)
+        assert m.put_stat.n == 2
+        assert m.put_stat.mean == pytest.approx(0.2)
+        assert m.get_stat.n == 1
+        assert len(m.put_series) == 2
+
+    def test_write_efficiency(self):
+        m = Metrics()
+        m.record_put(0.0, 0.1)
+        m.storage.original = 100
+        m.storage.replica = 100
+        assert m.write_efficiency() == pytest.approx(0.1 / 0.5)
+
+    def test_snapshot_structure(self):
+        m = Metrics()
+        m.record_put(0.0, 0.1)
+        m.count("encodes")
+        snap = m.snapshot()
+        assert snap["put_n"] == 1
+        assert "breakdown" in snap and "counters" in snap
+        assert snap["counters"]["encodes"] == 1
+
+    def test_sample_efficiency_series(self):
+        m = Metrics()
+        m.storage.original = 100
+        m.sample_efficiency(1.0)
+        m.storage.replica = 100
+        m.sample_efficiency(2.0)
+        assert m.efficiency_series.values == [1.0, 0.5]

@@ -1,0 +1,160 @@
+"""Tests for the Section II-D analytic model (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import CoRECModel, ModelParams
+
+
+def model(**kw):
+    return CoRECModel(ModelParams(**kw))
+
+
+class TestStorageEfficiencies:
+    def test_replication_efficiency(self):
+        assert model(n_level=1).E_r == pytest.approx(0.5)
+        assert model(n_level=2).E_r == pytest.approx(1 / 3)
+
+    def test_erasure_efficiency(self):
+        assert model(n_level=1, n_node=3).E_e == pytest.approx(0.75)
+        assert model(n_level=2, n_node=6).E_e == pytest.approx(0.75)
+
+    def test_hybrid_interpolates(self):
+        m = model()
+        assert m.E_hybrid(1.0) == pytest.approx(m.E_r)
+        assert m.E_hybrid(0.0) == pytest.approx(m.E_e)
+        assert m.E_r < m.E_hybrid(0.5) < m.E_e
+
+    def test_constraint_boundary_example(self):
+        # RS(4,3) with S = 0.67 -> P_r* ~ 0.24 (paper's Table I geometry).
+        m = model(n_level=1, n_node=3)
+        p = m.p_r_at_constraint(0.67)
+        assert 0.2 < p < 0.3
+        assert m.E_hybrid(p) == pytest.approx(0.67, rel=1e-6)
+
+    def test_constraint_saturation(self):
+        m = model()
+        assert m.p_r_at_constraint(0.4) == 1.0   # looser than replication
+        assert m.p_r_at_constraint(0.9) == 0.0   # tighter than erasure
+
+
+class TestCosts:
+    def test_erasure_costlier_than_replication(self):
+        m = model()
+        assert m.C_e > m.C_r
+
+    def test_corec_between_replica_and_erasure(self):
+        m = model()
+        for p_h in (0.1, 0.5, 0.9):
+            c = m.C_corec_ideal(p_h)
+            # CoREC never beats replication-only cost at the same workload
+            # but always beats erasure-only.
+            assert c <= m.C_erasure(p_h) + 1e-12
+
+    def test_endpoints_match_pure_schemes(self):
+        m = model()
+        # All-cold: every object erasure coded at f_cold.
+        assert m.C_corec_ideal(0.0) == pytest.approx(m.C_e * m.p.f_cold * m.p.n_objects)
+        # All-hot, no constraint: pure replication at f_hot.
+        assert m.C_corec_ideal(1.0) == pytest.approx(m.C_r * m.p.f_hot * m.p.n_objects)
+
+    def test_gain_formula_matches_difference(self):
+        m = model()
+        for p_h in np.linspace(0, 1, 11):
+            direct = m.C_hybrid(p_h) - m.C_corec_ideal(p_h)
+            assert direct == pytest.approx(m.gain(p_h), rel=1e-9, abs=1e-9)
+
+    def test_gain_nonnegative_and_peaks_mid(self):
+        m = model()
+        gains = [m.gain(p) for p in np.linspace(0, 1, 21)]
+        assert all(g >= -1e-12 for g in gains)
+        assert max(gains) == pytest.approx(m.gain(0.5), rel=1e-9)
+
+    def test_prob_validation(self):
+        m = model()
+        with pytest.raises(ValueError):
+            m.C_corec_ideal(1.5)
+        with pytest.raises(ValueError):
+            m.C_hybrid(-0.1)
+
+
+class TestMissRatio:
+    def test_miss_ratio_increases_cost(self):
+        m = model()
+        base = m.C_corec(0.5, miss_ratio=0.0)
+        assert m.C_corec(0.5, miss_ratio=0.2) > base
+        assert m.C_corec(0.5, miss_ratio=0.4) > m.C_corec(0.5, miss_ratio=0.2)
+
+    def test_zero_miss_matches_ideal(self):
+        m = model()
+        for p_h in (0.0, 0.3, 0.7, 1.0):
+            assert m.C_corec(p_h, 0.0) == pytest.approx(m.C_corec_ideal(p_h))
+
+    def test_full_miss_approaches_erasure_for_hot(self):
+        m = model()
+        # r_m=1: every hot object is encoded -> cost equals pure erasure.
+        for p_h in (0.2, 0.6, 1.0):
+            assert m.C_corec(p_h, 1.0) == pytest.approx(m.C_erasure(p_h))
+
+
+class TestStorageConstraintRegime:
+    def test_knee_continuity(self):
+        m = model()
+        s = 0.67
+        p_star = m.p_r_at_constraint(s)
+        below = m.C_corec(p_star - 1e-9, 0.0, s=s)
+        above = m.C_corec(p_star + 1e-9, 0.0, s=s)
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_constrained_cost_higher_than_ideal(self):
+        m = model()
+        s = 0.67
+        p_star = m.p_r_at_constraint(s)
+        for p_h in (p_star + 0.1, 0.9, 1.0):
+            assert m.C_corec(p_h, 0.0, s=s) > m.C_corec_ideal(p_h)
+
+    def test_constant_gap_to_erasure_beyond_knee(self):
+        # Beyond the knee the CoREC curve runs parallel to C_erasure
+        # (paper's "constant difference in time complexity").
+        m = model()
+        s = 0.67
+        gaps = [
+            m.C_erasure(p) - m.C_corec(p, 0.0, s=s)
+            for p in (0.5, 0.7, 0.9, 1.0)
+        ]
+        assert max(gaps) - min(gaps) < 1e-6 * max(gaps)
+
+
+class TestFig4Series:
+    def test_series_keys(self):
+        s = model().fig4_series(miss_ratios=(0.0, 0.2))
+        assert "p_h" in s and "hybrid" in s and "replica" in s and "erasure" in s
+        assert "corec_rm=0" in s and "corec_rm=0.2" in s
+
+    def test_series_shapes(self):
+        s = model().fig4_series(n_points=51)
+        assert len(s["p_h"]) == 51
+        assert len(s["corec_rm=0"]) == 51
+
+    def test_corec_below_hybrid_below_erasure(self):
+        s = model().fig4_series(miss_ratios=(0.0,))
+        corec, hybrid, erasure = s["corec_rm=0"], s["hybrid"], s["erasure"]
+        assert (corec <= hybrid + 1e-12).all()
+        assert (hybrid <= erasure + 1e-12).all()
+
+    def test_normalization(self):
+        s = model().fig4_series()
+        assert s["erasure"][-1] == pytest.approx(1.0)
+
+    def test_miss_ratio_orders_curves(self):
+        s = model().fig4_series(miss_ratios=(0.0, 0.2, 0.4))
+        mid = len(s["p_h"]) // 2
+        assert s["corec_rm=0"][mid] < s["corec_rm=0.2"][mid] < s["corec_rm=0.4"][mid]
+
+
+class TestModelParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelParams(n_level=0)
+        with pytest.raises(ValueError):
+            ModelParams(f_hot=1.0, f_cold=5.0)

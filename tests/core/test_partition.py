@@ -1,0 +1,119 @@
+"""Tests for Algorithm 1 (geometric partitioning and fitting)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition import PartitionResult, choose_block_shape, fit_object
+from repro.staging.domain import BBox
+
+
+class TestFitObject:
+    def test_already_fitting(self):
+        box = BBox((0, 0), (4, 4))
+        res = fit_object(box, element_bytes=1, max_bytes=100)
+        assert res.pieces == [box]
+        assert res.n_pieces == 1
+
+    def test_single_split(self):
+        box = BBox((0, 0), (8, 4))
+        res = fit_object(box, element_bytes=1, max_bytes=16)
+        assert res.n_pieces == 2
+        assert all(p.volume == 16 for p in res.pieces)
+
+    def test_splits_longest_dimension_first(self):
+        box = BBox((0, 0), (16, 4))
+        res = fit_object(box, element_bytes=1, max_bytes=32)
+        for p in res.pieces:
+            assert p.shape == (8, 4)
+
+    def test_exact_cover_and_disjoint(self):
+        box = BBox((0, 0, 0), (8, 8, 8))
+        res = fit_object(box, element_bytes=1, max_bytes=60)
+        assert res.total_volume() == box.volume
+        for i, a in enumerate(res.pieces):
+            for b in res.pieces[i + 1 :]:
+                assert a.intersect(b) is None
+
+    def test_unit_box_never_split(self):
+        box = BBox((0,), (1,))
+        res = fit_object(box, element_bytes=100, max_bytes=1)
+        assert res.pieces == [box]
+
+    def test_metadata_records_sizes(self):
+        box = BBox((0,), (8,))
+        res = fit_object(box, element_bytes=2, max_bytes=8)
+        assert all(md["nbytes"] == md["bbox"].volume * 2 for md in res.metadata)
+        assert all(md["fits"] for md in res.metadata)
+
+    def test_deterministic_ordering(self):
+        box = BBox((0, 0), (8, 8))
+        a = fit_object(box, 1, 16).pieces
+        b = fit_object(box, 1, 16).pieces
+        assert a == b
+        assert a == sorted(a, key=lambda p: p.lb)
+
+    def test_validation(self):
+        box = BBox((0,), (4,))
+        with pytest.raises(ValueError):
+            fit_object(box, element_bytes=0, max_bytes=10)
+        with pytest.raises(ValueError):
+            fit_object(box, element_bytes=4, max_bytes=0)
+        with pytest.raises(ValueError):
+            fit_object(box, element_bytes=1, max_bytes=4, min_bytes=10)
+
+    def test_oversized_elements_stop_at_units(self):
+        # One element exceeds the budget: Algorithm 1 splits down to unit
+        # boxes and stops (it cannot split an element).
+        res = fit_object(BBox((0,), (4,)), element_bytes=4, max_bytes=2)
+        assert all(p.volume == 1 for p in res.pieces)
+        assert res.n_pieces == 4
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        shape=st.tuples(st.integers(1, 16), st.integers(1, 16), st.integers(1, 16)),
+        element_bytes=st.sampled_from([1, 4, 8]),
+        max_bytes=st.integers(8, 4096),
+    )
+    def test_invariants_property(self, shape, element_bytes, max_bytes):
+        box = BBox((0, 0, 0), shape)
+        res = fit_object(box, element_bytes, max_bytes)
+        # Exact cover.
+        assert res.total_volume() == box.volume
+        # All pieces inside the original box.
+        assert all(box.contains(p) for p in res.pieces)
+        # Every piece either fits or is a single element per dimension
+        # where splitting is impossible.
+        for p in res.pieces:
+            nbytes = p.volume * element_bytes
+            assert nbytes <= max_bytes or all(s == 1 for s in p.shape)
+        # Pairwise disjoint.
+        for i, a in enumerate(res.pieces):
+            for b in res.pieces[i + 1 :]:
+                assert a.intersect(b) is None
+
+
+class TestChooseBlockShape:
+    def test_whole_domain_fits(self):
+        assert choose_block_shape((8, 8), 1, 1000) == (8, 8)
+
+    def test_halving(self):
+        shape = choose_block_shape((16, 16), 1, 64)
+        assert shape[0] * shape[1] <= 64
+
+    def test_regular_cube(self):
+        shape = choose_block_shape((64, 64, 64), 1, 4096)
+        assert shape == (16, 16, 16)
+
+    def test_anisotropic_domain(self):
+        shape = choose_block_shape((64, 8), 1, 64)
+        # Longest dimension shrinks first.
+        assert shape[0] <= 8
+
+    def test_element_floor(self):
+        # Even if one element exceeds the budget, blocks stop at 1 element.
+        shape = choose_block_shape((4, 4), 1024, 8)
+        assert shape == (1, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_block_shape((0, 4), 1, 10)

@@ -1,0 +1,136 @@
+"""Tests for grouped replication/coding placement on the topology ring."""
+
+import pytest
+
+from repro.core.placement import GroupLayout
+from repro.sim.cluster import Cluster
+
+
+def make_layout(n=8, n_level=1, k=3, m=1, npc=2, topo=True):
+    return GroupLayout(
+        Cluster(n_servers=n, nodes_per_cabinet=npc),
+        n_level=n_level,
+        k=k,
+        m=m,
+        topology_aware=topo,
+    )
+
+
+class TestValidation:
+    def test_divisibility_replication(self):
+        with pytest.raises(ValueError):
+            make_layout(n=9, n_level=1)  # 9 % 2 != 0
+
+    def test_divisibility_coding(self):
+        with pytest.raises(ValueError):
+            make_layout(n=10, k=3, m=1)  # 10 % 4 != 0
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            make_layout(n_level=0)
+        with pytest.raises(ValueError):
+            make_layout(k=0)
+
+
+class TestReplicationGroups:
+    def test_groups_partition_servers(self):
+        layout = make_layout()
+        seen = set()
+        for gid in range(layout.n_replication_groups()):
+            start = gid * layout.rep_size
+            members = [layout.ring[start + i] for i in range(layout.rep_size)]
+            seen.update(members)
+        assert seen == set(range(8))
+
+    def test_group_contains_self(self):
+        layout = make_layout()
+        for s in range(8):
+            assert s in layout.replication_group(s)
+
+    def test_replica_targets_exclude_primary(self):
+        layout = make_layout()
+        for s in range(8):
+            targets = layout.replica_targets(s)
+            assert s not in targets
+            assert len(targets) == layout.rep_size - 1
+
+    def test_group_membership_symmetric(self):
+        layout = make_layout()
+        for s in range(8):
+            group = layout.replication_group(s)
+            for other in group:
+                assert layout.replication_group(other) == group
+
+    def test_three_way_replication(self):
+        layout = make_layout(n=12, n_level=2, k=3, m=1, npc=2)
+        assert layout.rep_size == 3
+        assert len(layout.replica_targets(0)) == 2
+
+
+class TestCodingGroups:
+    def test_group_size(self):
+        layout = make_layout()
+        assert len(layout.coding_group(0)) == 4
+
+    def test_groups_partition_servers(self):
+        layout = make_layout()
+        all_members = []
+        for gid in range(layout.n_coding_groups()):
+            all_members += layout.coding_group_members(gid)
+        assert sorted(all_members) == list(range(8))
+
+    def test_group_id_consistent(self):
+        layout = make_layout()
+        for gid in range(layout.n_coding_groups()):
+            for s in layout.coding_group_members(gid):
+                assert layout.coding_group_id(s) == gid
+
+
+class TestFailureSeparation:
+    def test_topology_aware_separates_cabinets(self):
+        layout = make_layout(n=8, npc=1)  # 8 cabinets of 1 node
+        assert layout.validate_failure_separation()
+
+    def test_topology_aware_with_two_nodes_per_cabinet(self):
+        layout = make_layout(n=8, npc=2)  # 4 cabinets
+        assert layout.validate_failure_separation()
+
+    def test_naive_placement_may_collocate(self):
+        # With 4 nodes/cabinet and the identity ring, coding group [0..3]
+        # sits entirely in cabinet 0 -> separation violated.
+        layout = make_layout(n=8, npc=4, topo=False)
+        assert not layout.validate_failure_separation()
+
+    def test_topology_fixes_the_same_cluster(self):
+        layout = make_layout(n=8, npc=4, topo=True)
+        assert layout.validate_failure_separation()
+
+
+class TestStripeShardServers:
+    def test_data_then_parity(self):
+        layout = make_layout()
+        group = layout.coding_group_members(0)
+        data = group[:3]
+        servers = layout.stripe_shard_servers(0, data)
+        assert servers[:3] == data
+        assert servers[3] == group[3]
+        assert len(set(servers)) == 4
+
+    def test_rejects_duplicate_data_servers(self):
+        layout = make_layout()
+        group = layout.coding_group_members(0)
+        with pytest.raises(ValueError):
+            layout.stripe_shard_servers(0, [group[0], group[0], group[1]])
+
+    def test_rejects_foreign_server(self):
+        layout = make_layout()
+        other = layout.coding_group_members(1)[0]
+        group = layout.coding_group_members(0)
+        with pytest.raises(ValueError):
+            layout.stripe_shard_servers(0, [group[0], group[1], other])
+
+    def test_rejects_wrong_count(self):
+        layout = make_layout()
+        group = layout.coding_group_members(0)
+        with pytest.raises(ValueError):
+            layout.stripe_shard_servers(0, group[:2])

@@ -1,0 +1,154 @@
+"""Field-axiom and kernel tests for GF(2^8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.erasure.gf256 import GF256
+
+elem = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+class TestTables:
+    def test_exp_log_roundtrip(self):
+        for a in range(1, 256):
+            assert GF256.exp(GF256.LOG[a]) == a
+
+    def test_mul_table_shape_and_dtype(self):
+        assert GF256.MUL.shape == (256, 256)
+        assert GF256.MUL.dtype == np.uint8
+
+    def test_generator_has_full_order(self):
+        # 2 must generate all 255 nonzero elements.
+        seen = set()
+        x = 1
+        for _ in range(255):
+            seen.add(x)
+            x = GF256.mul(x, 2)
+        assert len(seen) == 255
+
+
+class TestFieldAxioms:
+    @given(elem, elem)
+    def test_addition_commutative(self, a, b):
+        assert GF256.add(a, b) == GF256.add(b, a)
+
+    @given(elem)
+    def test_addition_self_inverse(self, a):
+        assert GF256.add(a, a) == 0
+
+    @given(elem, elem)
+    def test_multiplication_commutative(self, a, b):
+        assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    @given(elem, elem, elem)
+    def test_multiplication_associative(self, a, b, c):
+        assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+    @given(elem, elem, elem)
+    def test_distributive(self, a, b, c):
+        left = GF256.mul(a, GF256.add(b, c))
+        right = GF256.add(GF256.mul(a, b), GF256.mul(a, c))
+        assert left == right
+
+    @given(elem)
+    def test_multiplicative_identity(self, a):
+        assert GF256.mul(a, 1) == a
+
+    @given(elem)
+    def test_zero_annihilates(self, a):
+        assert GF256.mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert GF256.mul(a, GF256.inv(a)) == 1
+
+    @given(elem, nonzero)
+    def test_div_mul_roundtrip(self, a, b):
+        assert GF256.mul(GF256.div(a, b), b) == a
+
+
+class TestScalarEdgeCases:
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.div(5, 0)
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.inv(0)
+
+    def test_zero_div_nonzero(self):
+        assert GF256.div(0, 7) == 0
+
+    def test_pow_zero_base(self):
+        assert GF256.pow(0, 0) == 1
+        assert GF256.pow(0, 3) == 0
+        with pytest.raises(ZeroDivisionError):
+            GF256.pow(0, -1)
+
+    @given(nonzero, st.integers(-10, 10))
+    def test_pow_matches_repeated_mul(self, a, n):
+        expected = 1
+        base = a if n >= 0 else GF256.inv(a)
+        for _ in range(abs(n)):
+            expected = GF256.mul(expected, base)
+        assert GF256.pow(a, n) == expected
+
+
+class TestVectorKernels:
+    @given(elem, st.integers(0, 200))
+    def test_mul_bytes_matches_scalar(self, c, n):
+        rng = np.random.default_rng(n)
+        buf = rng.integers(0, 256, n, dtype=np.uint8)
+        out = GF256.mul_bytes(c, buf)
+        expected = np.array([GF256.mul(c, int(b)) for b in buf], dtype=np.uint8)
+        assert (out == expected).all()
+
+    def test_mul_bytes_zero_scalar(self):
+        buf = np.arange(10, dtype=np.uint8)
+        assert (GF256.mul_bytes(0, buf) == 0).all()
+
+    def test_mul_bytes_identity_scalar_copies(self):
+        buf = np.arange(10, dtype=np.uint8)
+        out = GF256.mul_bytes(1, buf)
+        assert (out == buf).all()
+        out[0] = 99
+        assert buf[0] == 0  # must not alias
+
+    @given(elem)
+    def test_addmul_matches_manual(self, c):
+        rng = np.random.default_rng(c)
+        acc = rng.integers(0, 256, 64, dtype=np.uint8)
+        buf = rng.integers(0, 256, 64, dtype=np.uint8)
+        expected = acc ^ GF256.mul_bytes(c, buf)
+        GF256.addmul_bytes(acc, c, buf)
+        assert (acc == expected).all()
+
+    def test_addmul_zero_coefficient_is_noop(self):
+        acc = np.arange(16, dtype=np.uint8)
+        before = acc.copy()
+        GF256.addmul_bytes(acc, 0, np.ones(16, dtype=np.uint8))
+        assert (acc == before).all()
+
+    def test_matmul_bytes_identity(self):
+        rng = np.random.default_rng(0)
+        shards = rng.integers(0, 256, (3, 32), dtype=np.uint8)
+        out = GF256.matmul_bytes(np.eye(3, dtype=np.uint8), shards)
+        assert (out == shards).all()
+
+    def test_matmul_bytes_shape_check(self):
+        with pytest.raises(ValueError):
+            GF256.matmul_bytes(np.eye(3, dtype=np.uint8), np.zeros((2, 8), np.uint8))
+
+    def test_matmul_bytes_matches_scalar_math(self):
+        rng = np.random.default_rng(1)
+        mat = rng.integers(0, 256, (2, 3), dtype=np.uint8)
+        shards = rng.integers(0, 256, (3, 5), dtype=np.uint8)
+        out = GF256.matmul_bytes(mat, shards)
+        for i in range(2):
+            for col in range(5):
+                acc = 0
+                for j in range(3):
+                    acc ^= GF256.mul(int(mat[i, j]), int(shards[j, col]))
+                assert out[i, col] == acc

@@ -1,0 +1,316 @@
+"""Reed-Solomon encode/decode/update tests, including property-based ones."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.erasure.reedsolomon import RSCode, StripeCodec
+
+
+def make_shards(rng, k, length):
+    return [rng.integers(0, 256, length, dtype=np.uint8) for _ in range(k)]
+
+
+class TestRSCodeConstruction:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            RSCode(0, 1)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            RSCode(3, -1)
+
+    def test_field_size_bound(self):
+        with pytest.raises(ValueError):
+            RSCode(200, 100)
+
+    def test_unknown_construction(self):
+        with pytest.raises(ValueError):
+            RSCode(3, 1, construction="zigzag")
+
+    def test_n_property(self):
+        code = RSCode(3, 2)
+        assert code.n == 5
+
+
+@pytest.mark.parametrize("construction", ["cauchy", "vandermonde"])
+class TestEncodeDecode:
+    def test_roundtrip_no_loss(self, construction):
+        rng = np.random.default_rng(0)
+        code = RSCode(3, 2, construction)
+        data = make_shards(rng, 3, 100)
+        present = {i: d for i, d in enumerate(data)}
+        rec = code.decode(present)
+        assert all((a == b).all() for a, b in zip(rec, data))
+
+    def test_all_single_erasures(self, construction):
+        rng = np.random.default_rng(1)
+        code = RSCode(4, 2, construction)
+        data = make_shards(rng, 4, 64)
+        parity = code.encode(data)
+        full = {i: s for i, s in enumerate(data + parity)}
+        for lost in range(code.n):
+            present = {i: s for i, s in full.items() if i != lost}
+            rec = code.decode(present)
+            assert all((a == b).all() for a, b in zip(rec, data))
+
+    def test_all_double_erasures(self, construction):
+        rng = np.random.default_rng(2)
+        code = RSCode(4, 2, construction)
+        data = make_shards(rng, 4, 32)
+        parity = code.encode(data)
+        full = {i: s for i, s in enumerate(data + parity)}
+        for lost in itertools.combinations(range(code.n), 2):
+            present = {i: s for i, s in full.items() if i not in lost}
+            rec = code.decode(present)
+            assert all((a == b).all() for a, b in zip(rec, data))
+
+    def test_too_many_erasures_raises(self, construction):
+        rng = np.random.default_rng(3)
+        code = RSCode(3, 1, construction)
+        data = make_shards(rng, 3, 16)
+        parity = code.encode(data)
+        present = {0: data[0], 3: parity[0]}  # only 2 of 3 needed shards
+        with pytest.raises(ValueError, match="unrecoverable"):
+            code.decode(present)
+
+
+class TestEncodeValidation:
+    def test_wrong_shard_count(self):
+        code = RSCode(3, 1)
+        with pytest.raises(ValueError):
+            code.encode([np.zeros(8, np.uint8)] * 2)
+
+    def test_unequal_lengths(self):
+        code = RSCode(2, 1)
+        with pytest.raises(ValueError):
+            code.encode([np.zeros(8, np.uint8), np.zeros(9, np.uint8)])
+
+    def test_decode_index_out_of_range(self):
+        code = RSCode(2, 1)
+        with pytest.raises(IndexError):
+            code.decode({0: np.zeros(4, np.uint8), 5: np.zeros(4, np.uint8)})
+
+    def test_zero_parity_code(self):
+        code = RSCode(3, 0)
+        data = [np.arange(4, dtype=np.uint8)] * 3
+        assert code.encode(data) == []
+
+
+class TestParityUpdate:
+    @pytest.mark.parametrize("k,m", [(3, 1), (4, 2), (6, 3)])
+    def test_delta_update_matches_reencode(self, k, m):
+        rng = np.random.default_rng(k * 10 + m)
+        code = RSCode(k, m)
+        data = make_shards(rng, k, 50)
+        parity = code.encode(data)
+        for j in range(k):
+            new = rng.integers(0, 256, 50, dtype=np.uint8)
+            updated = code.update_parity(parity, j, data[j], new)
+            reference = code.encode(data[:j] + [new] + data[j + 1 :])
+            assert all((a == b).all() for a, b in zip(updated, reference))
+
+    def test_update_out_of_range(self):
+        code = RSCode(3, 1)
+        with pytest.raises(IndexError):
+            code.update_parity([np.zeros(4, np.uint8)], 3, np.zeros(4, np.uint8), np.zeros(4, np.uint8))
+
+    def test_update_wrong_parity_count(self):
+        code = RSCode(3, 2)
+        with pytest.raises(ValueError):
+            code.update_parity([np.zeros(4, np.uint8)], 0, np.zeros(4, np.uint8), np.zeros(4, np.uint8))
+
+    def test_noop_update(self):
+        rng = np.random.default_rng(9)
+        code = RSCode(3, 1)
+        data = make_shards(rng, 3, 20)
+        parity = code.encode(data)
+        updated = code.update_parity(parity, 1, data[1], data[1])
+        assert (updated[0] == parity[0]).all()
+
+
+class TestReconstructShard:
+    def test_reconstruct_data_shard(self):
+        rng = np.random.default_rng(4)
+        code = RSCode(3, 2)
+        data = make_shards(rng, 3, 24)
+        parity = code.encode(data)
+        present = {0: data[0], 2: data[2], 3: parity[0]}
+        rec = code.reconstruct_shard(present, 1)
+        assert (rec == data[1]).all()
+
+    def test_reconstruct_parity_shard(self):
+        rng = np.random.default_rng(5)
+        code = RSCode(3, 2)
+        data = make_shards(rng, 3, 24)
+        parity = code.encode(data)
+        present = {0: data[0], 1: data[1], 2: data[2]}
+        rec = code.reconstruct_shard(present, 4)
+        assert (rec == parity[1]).all()
+
+    def test_reconstruct_present_shard_copies(self):
+        rng = np.random.default_rng(6)
+        code = RSCode(2, 1)
+        data = make_shards(rng, 2, 8)
+        rec = code.reconstruct_shard({0: data[0], 1: data[1]}, 0)
+        assert (rec == data[0]).all()
+        rec[0] ^= 0xFF
+        assert rec[0] != data[0][0]  # returned buffer must not alias input
+
+    def test_reconstruct_out_of_range(self):
+        code = RSCode(2, 1)
+        with pytest.raises(IndexError):
+            code.reconstruct_shard({0: np.zeros(4, np.uint8)}, 9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    k=st.integers(1, 6),
+    m=st.integers(1, 3),
+    length=st.integers(1, 128),
+    seed=st.integers(0, 2**31 - 1),
+    data=st.data(),
+)
+def test_property_any_m_erasures_recoverable(k, m, length, seed, data):
+    """MDS property end-to-end: losing any <= m shards is always recoverable."""
+    rng = np.random.default_rng(seed)
+    code = RSCode(k, m)
+    shards = make_shards(rng, k, length)
+    parity = code.encode(shards)
+    full = {i: s for i, s in enumerate(shards + parity)}
+    n_lost = data.draw(st.integers(0, m))
+    lost = data.draw(
+        st.lists(st.integers(0, code.n - 1), min_size=n_lost, max_size=n_lost, unique=True)
+    )
+    present = {i: s for i, s in full.items() if i not in lost}
+    rec = code.decode(present)
+    assert all((a == b).all() for a, b in zip(rec, shards))
+
+
+class TestStripeCodec:
+    def test_unequal_object_sizes(self):
+        rng = np.random.default_rng(7)
+        sc = StripeCodec(3, 2)
+        objs = [rng.integers(0, 256, n, dtype=np.uint8) for n in (50, 64, 33)]
+        stripe = sc.encode_objects(objs)
+        assert stripe.shard_len == 64
+        present = {1: stripe.shards[1], 3: stripe.shards[3], 4: stripe.shards[4]}
+        rec = sc.decode_objects(stripe.lengths, present)
+        assert all((a == b).all() for a, b in zip(rec, objs))
+
+    def test_wrong_object_count(self):
+        sc = StripeCodec(3, 1)
+        with pytest.raises(ValueError):
+            sc.encode_objects([np.zeros(4, np.uint8)] * 2)
+
+    def test_empty_objects_rejected(self):
+        sc = StripeCodec(2, 1)
+        with pytest.raises(ValueError):
+            sc.encode_objects([np.zeros(0, np.uint8), np.zeros(0, np.uint8)])
+
+    def test_lengths_must_match_k(self):
+        sc = StripeCodec(2, 1)
+        objs = [np.ones(4, np.uint8), np.ones(4, np.uint8)]
+        stripe = sc.encode_objects(objs)
+        with pytest.raises(ValueError):
+            sc.decode_objects([4], {0: stripe.shards[0], 1: stripe.shards[1]})
+
+
+class TestXorConstruction:
+    def test_parity_is_xor(self):
+        rng = np.random.default_rng(0)
+        code = RSCode(4, 1, "xor")
+        data = make_shards(rng, 4, 32)
+        parity = code.encode(data)
+        expected = data[0] ^ data[1] ^ data[2] ^ data[3]
+        assert (parity[0] == expected).all()
+
+    def test_single_erasure_recovery(self):
+        rng = np.random.default_rng(1)
+        code = RSCode(3, 1, "xor")
+        data = make_shards(rng, 3, 16)
+        parity = code.encode(data)
+        full = {i: s for i, s in enumerate(data + parity)}
+        for lost in range(4):
+            present = {i: s for i, s in full.items() if i != lost}
+            rec = code.decode(present)
+            assert all((a == b).all() for a, b in zip(rec, data))
+
+    def test_delta_update(self):
+        rng = np.random.default_rng(2)
+        code = RSCode(3, 1, "xor")
+        data = make_shards(rng, 3, 16)
+        parity = code.encode(data)
+        new = rng.integers(0, 256, 16, dtype=np.uint8)
+        updated = code.update_parity(parity, 1, data[1], new)
+        ref = code.encode([data[0], new, data[2]])
+        assert (updated[0] == ref[0]).all()
+
+    def test_rejects_multi_parity(self):
+        with pytest.raises(ValueError):
+            RSCode(3, 2, "xor")
+
+    def test_mds_for_single_parity(self):
+        code = RSCode(4, 1, "xor")
+        assert code.generator.is_mds_generator(4)
+
+    def test_end_to_end_service_with_xor(self):
+        from repro import ReplicationPolicy, ErasurePolicy, StagingConfig, StagingService
+
+        svc = StagingService(
+            StagingConfig(
+                n_servers=8,
+                domain_shape=(32, 32, 32),
+                element_bytes=1,
+                object_max_bytes=4096,
+                rs_construction="xor",
+                seed=1,
+            ),
+            ErasurePolicy(),
+        )
+
+        def wf():
+            yield from svc.put("w0", "v", svc.domain.bbox)
+            yield from svc.end_step()
+            yield from svc.flush()
+            svc.fail_server(1)
+            _, payloads = yield from svc.get("r0", "v", svc.domain.bbox)
+            assert len(payloads) == svc.domain.n_blocks
+
+        svc.run_workflow(wf())
+        svc.run()
+        assert svc.read_errors == 0
+
+
+class TestDecodeCache:
+    def test_cache_hits_on_repeated_pattern(self):
+        rng = np.random.default_rng(11)
+        code = RSCode(4, 2)
+        data = make_shards(rng, 4, 32)
+        parity = code.encode(data)
+        full = {i: s for i, s in enumerate(data + parity)}
+        present = {i: s for i, s in full.items() if i not in (1, 3)}
+        for _ in range(5):
+            rec = code.decode(present)
+            assert all((a == b).all() for a, b in zip(rec, data))
+        assert code.decode_cache_misses == 1
+        assert code.decode_cache_hits == 4
+
+    def test_distinct_patterns_distinct_entries(self):
+        rng = np.random.default_rng(12)
+        code = RSCode(3, 2)
+        data = make_shards(rng, 3, 16)
+        parity = code.encode(data)
+        full = {i: s for i, s in enumerate(data + parity)}
+        code.decode({i: s for i, s in full.items() if i != 0})
+        code.decode({i: s for i, s in full.items() if i != 1})
+        assert code.decode_cache_misses == 2
+
+    def test_fast_path_skips_cache(self):
+        rng = np.random.default_rng(13)
+        code = RSCode(3, 1)
+        data = make_shards(rng, 3, 8)
+        code.decode({i: d for i, d in enumerate(data)})
+        assert code.decode_cache_misses == 0

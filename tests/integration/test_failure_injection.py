@@ -1,0 +1,130 @@
+"""Randomized failure-injection survivability tests.
+
+The survivability contract: as long as no more than ``m`` (= n_level)
+servers of any coding/replication group are down simultaneously, no staged
+byte may be lost, under any interleaving of failures, replacements, reads
+and writes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
+
+from tests.conftest import make_service, stripes_consistent
+
+RESILIENT = ["replication", "erasure", "corec"]
+
+
+def groups_safe(svc, failed: set) -> bool:
+    """True if no coding/replication group has more than n_level failures."""
+    layout = svc.layout
+    for gid in range(layout.n_coding_groups()):
+        members = set(layout.coding_group_members(gid))
+        if len(members & failed) > layout.m:
+            return False
+    for s in range(svc.config.n_servers):
+        group = set(layout.replication_group(s))
+        if len(group & failed) > layout.n_level:
+            return False
+    return True
+
+
+@pytest.mark.parametrize("policy", RESILIENT)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_single_failure_windows(policy, seed):
+    """Fail one random server per window; all data must stay readable."""
+    rng = np.random.default_rng(seed)
+    svc = make_service(policy)
+    cfg = SyntheticWorkloadConfig(case="case1", n_writers=8, timesteps=2)
+    wl = SyntheticWorkload(svc, cfg)
+    svc.run_workflow(wl.run())
+    svc.run()
+
+    for _ in range(4):
+        victim = int(rng.integers(0, 8))
+        svc.fail_server(victim)
+
+        def wf():
+            _, payloads = yield from svc.get("r0", "field", svc.domain.bbox)
+            assert len(payloads) == svc.domain.n_blocks
+
+        svc.run_workflow(wf())
+        svc.run()
+        svc.replace_server(victim)
+        svc.run()
+    assert svc.read_errors == 0
+
+
+@pytest.mark.parametrize("policy", RESILIENT)
+def test_two_failures_in_distinct_groups(policy):
+    """Two concurrent failures in different groups are tolerable."""
+    svc = make_service(policy)
+    cfg = SyntheticWorkloadConfig(case="case1", n_writers=8, timesteps=2)
+    wl = SyntheticWorkload(svc, cfg)
+    svc.run_workflow(wl.run())
+    svc.run()
+    # Pick one server from each coding group.
+    victims = [svc.layout.coding_group_members(g)[0] for g in range(2)]
+    for v in victims:
+        svc.fail_server(v)
+    assert groups_safe(svc, set(victims))
+
+    def wf():
+        _, payloads = yield from svc.get("r0", "field", svc.domain.bbox)
+        assert len(payloads) == svc.domain.n_blocks
+
+    svc.run_workflow(wf())
+    svc.run()
+    assert svc.read_errors == 0
+
+
+def test_writes_continue_through_failure_and_recovery():
+    svc = make_service("corec")
+    cfg = SyntheticWorkloadConfig(
+        case="case1",
+        n_writers=8,
+        timesteps=8,
+        failure_plan={2: [("fail", 1)], 5: [("replace", 1)]},
+    )
+    wl = SyntheticWorkload(svc, cfg)
+    svc.run_workflow(wl.run())
+    svc.run()
+
+    def wf():
+        _, payloads = yield from svc.get("r0", "field", svc.domain.bbox)
+        assert len(payloads) == svc.domain.n_blocks
+
+    svc.run_workflow(wf())
+    assert svc.read_errors == 0
+    assert stripes_consistent(svc)
+
+
+def test_repeated_fail_replace_cycles():
+    svc = make_service("corec")
+    cfg = SyntheticWorkloadConfig(case="case1", n_writers=8, timesteps=2)
+    wl = SyntheticWorkload(svc, cfg)
+    svc.run_workflow(wl.run())
+    svc.run()
+    for cycle in range(3):
+        victim = cycle % 8
+        svc.fail_server(victim)
+        svc.run()
+        svc.replace_server(victim)
+        svc.run()
+
+        def wf():
+            yield from svc.get("r0", "field", svc.domain.bbox)
+
+        svc.run_workflow(wf())
+        svc.run()
+    assert svc.read_errors == 0
+
+
+def test_epoch_distinguishes_incarnations():
+    svc = make_service("replication")
+    svc.fail_server(0)
+    svc.replace_server(0)
+    svc.fail_server(0)
+    svc.replace_server(0)
+    assert svc.servers[0].epoch == 2

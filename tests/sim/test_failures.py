@@ -1,0 +1,155 @@
+"""Tests for the failure injector."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.failures import FailureInjector, FailureSchedule
+from repro.util.eventlog import EventLog
+
+
+class TestFailureSchedule:
+    def test_builders_chain(self):
+        s = FailureSchedule().add_failure(1.0, 3).add_replacement(2.0, 3)
+        assert s.failures == [(1.0, 3)]
+        assert s.replacements == [(2.0, 3)]
+
+    def test_validate_ok(self):
+        FailureSchedule().add_failure(1, 0).add_replacement(2, 0).validate()
+
+    def test_replacement_before_failure_rejected(self):
+        s = FailureSchedule().add_failure(5, 0).add_replacement(2, 0)
+        with pytest.raises(ValueError):
+            s.validate()
+
+    def test_replacement_without_failure_rejected(self):
+        s = FailureSchedule().add_replacement(2, 0)
+        with pytest.raises(ValueError):
+            s.validate()
+
+
+class TestScheduledInjection:
+    def test_fail_and_replace_callbacks(self):
+        sim = Simulator()
+        events = []
+        inj = FailureInjector(
+            sim,
+            on_fail=lambda s: events.append((sim.now, "fail", s)),
+            on_replace=lambda s: events.append((sim.now, "replace", s)),
+            schedule=FailureSchedule().add_failure(1.0, 3).add_replacement(5.0, 3),
+        )
+        inj.start()
+        sim.run()
+        assert events == [(1.0, "fail", 3), (5.0, "replace", 3)]
+
+    def test_double_fail_is_noop(self):
+        sim = Simulator()
+        fails = []
+        sched = FailureSchedule().add_failure(1.0, 2).add_failure(2.0, 2)
+        inj = FailureInjector(sim, on_fail=lambda s: fails.append(s), schedule=sched)
+        inj.start()
+        sim.run()
+        assert fails == [2]
+        assert inj.fail_count == 1
+
+    def test_replace_without_prior_failure_is_noop(self):
+        sim = Simulator()
+        events = []
+        sched = FailureSchedule().add_failure(1.0, 0).add_replacement(2.0, 0)
+        inj = FailureInjector(
+            sim,
+            on_fail=lambda s: events.append(("f", s)),
+            on_replace=lambda s: events.append(("r", s)),
+            schedule=sched,
+        )
+        inj.start()
+        sim.run()
+        # A second replacement of the same (now healthy) server is a no-op.
+        assert events == [("f", 0), ("r", 0)]
+
+    def test_event_log_records(self):
+        sim = Simulator()
+        log = EventLog()
+        inj = FailureInjector(
+            sim,
+            on_fail=lambda s: None,
+            schedule=FailureSchedule().add_failure(1.0, 0),
+            log=log,
+        )
+        inj.start()
+        sim.run()
+        assert log.count("server_failed") == 1
+
+    def test_same_time_fail_before_replace(self):
+        sim = Simulator()
+        events = []
+        sched = FailureSchedule().add_failure(1.0, 0).add_replacement(1.0, 0)
+        inj = FailureInjector(
+            sim,
+            on_fail=lambda s: events.append("fail"),
+            on_replace=lambda s: events.append("replace"),
+            schedule=sched,
+        )
+        inj.start()
+        sim.run()
+        assert events == ["fail", "replace"]
+
+
+class TestStochasticInjection:
+    def test_requires_rng_and_count(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FailureInjector(sim, on_fail=lambda s: None, mtbf_s=10.0)
+
+    def test_requires_some_mode(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FailureInjector(sim, on_fail=lambda s: None)
+
+    def test_mtbf_rate_roughly_matches(self):
+        sim = Simulator()
+        fails = []
+        inj = FailureInjector(
+            sim,
+            on_fail=lambda s: fails.append((sim.now, s)),
+            mtbf_s=100.0,
+            n_servers=10,
+            rng=np.random.default_rng(0),
+        )
+        inj.start()
+        sim.run(until=200.0)
+        # Fleet rate = 10/100 = 0.1 per s -> ~20 failures expected, but the
+        # pool shrinks as servers die (max 10 victims).
+        assert 1 <= len(fails) <= 10
+
+    def test_stochastic_is_deterministic_per_seed(self):
+        def run(seed):
+            sim = Simulator()
+            fails = []
+            inj = FailureInjector(
+                sim,
+                on_fail=lambda s: fails.append((sim.now, s)),
+                mtbf_s=50.0,
+                n_servers=8,
+                rng=np.random.default_rng(seed),
+            )
+            inj.start()
+            sim.run(until=100.0)
+            return fails
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_stops_when_all_dead(self):
+        sim = Simulator()
+        fails = []
+        inj = FailureInjector(
+            sim,
+            on_fail=lambda s: fails.append(s),
+            mtbf_s=0.001,
+            n_servers=3,
+            rng=np.random.default_rng(1),
+        )
+        inj.start()
+        sim.run(until=10.0)
+        assert sorted(fails) == [0, 1, 2]

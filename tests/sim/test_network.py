@@ -1,0 +1,155 @@
+"""Tests for the latency+bandwidth network model."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkConfig
+
+
+def run_transfers(net, sim, specs):
+    """specs: list of (src, dst, nbytes); returns dict name -> finish time."""
+    results = {}
+
+    def xfer(i, src, dst, n):
+        yield from net.transfer(src, dst, n)
+        results[i] = sim.now
+
+    for i, (src, dst, n) in enumerate(specs):
+        sim.process(xfer(i, src, dst, n))
+    sim.run()
+    return results
+
+
+class TestTransferTime:
+    def test_formula(self):
+        net = Network(Simulator(), NetworkConfig(latency_s=0.001, bandwidth_bps=1e6))
+        assert net.transfer_time(1000) == pytest.approx(0.001 + 0.001)
+
+    def test_zero_bytes_costs_latency(self):
+        net = Network(Simulator(), NetworkConfig(latency_s=0.002, bandwidth_bps=1e6))
+        assert net.transfer_time(0) == pytest.approx(0.002)
+
+    def test_negative_size_rejected(self):
+        sim = Simulator()
+        net = Network(sim, NetworkConfig())
+
+        def bad():
+            yield from net.transfer("a", "b", -1)
+
+        sim.process(bad())
+        with pytest.raises(ValueError):
+            sim.run()
+
+
+class TestContention:
+    def test_shared_source_nic_serializes(self):
+        sim = Simulator()
+        net = Network(sim, NetworkConfig(latency_s=0.001, bandwidth_bps=1e6))
+        res = run_transfers(net, sim, [("s0", "s1", 1000), ("s0", "s2", 1000)])
+        assert res[0] == pytest.approx(0.002)
+        assert res[1] == pytest.approx(0.004)
+
+    def test_disjoint_paths_parallel(self):
+        sim = Simulator()
+        net = Network(sim, NetworkConfig(latency_s=0.001, bandwidth_bps=1e6))
+        res = run_transfers(net, sim, [("s0", "s1", 1000), ("s2", "s3", 1000)])
+        assert res[0] == pytest.approx(0.002)
+        assert res[1] == pytest.approx(0.002)
+
+    def test_opposing_transfers_no_deadlock(self):
+        sim = Simulator()
+        net = Network(sim, NetworkConfig(latency_s=0.001, bandwidth_bps=1e6))
+        res = run_transfers(net, sim, [("a", "b", 1000), ("b", "a", 1000)])
+        assert len(res) == 2  # both complete
+
+    def test_ring_of_transfers_no_deadlock(self):
+        sim = Simulator()
+        net = Network(sim, NetworkConfig(latency_s=0.0001, bandwidth_bps=1e9))
+        specs = [(f"n{i}", f"n{(i + 1) % 5}", 10_000) for i in range(5)]
+        res = run_transfers(net, sim, specs)
+        assert len(res) == 5
+
+
+class TestLocalCopy:
+    def test_local_transfer_uses_memcpy_bandwidth(self):
+        sim = Simulator()
+        net = Network(sim, NetworkConfig(latency_s=0.001, bandwidth_bps=1e6,
+                                         local_copy_bandwidth_bps=1e9))
+        res = run_transfers(net, sim, [("s0", "s0", 1_000_000)])
+        assert res[0] == pytest.approx(0.001, abs=1e-6)  # 1 MB at 1 GB/s, no latency
+
+    def test_local_transfer_does_not_hold_nic(self):
+        sim = Simulator()
+        net = Network(sim, NetworkConfig(latency_s=0.001, bandwidth_bps=1e6))
+        res = run_transfers(net, sim, [("s0", "s0", 10_000_000), ("s0", "s1", 1000)])
+        assert res[1] == pytest.approx(0.002)  # unaffected by the local copy
+
+
+class TestStats:
+    def test_byte_and_message_accounting(self):
+        sim = Simulator()
+        net = Network(sim, NetworkConfig())
+        run_transfers(net, sim, [("a", "b", 100), ("b", "c", 200)])
+        assert net.stats.messages == 2
+        assert net.stats.bytes == 300
+        assert net.stats.per_endpoint_bytes["b"] == 300
+
+    def test_metadata_accounting(self):
+        sim = Simulator()
+        net = Network(sim, NetworkConfig(metadata_bytes=128))
+
+        def meta():
+            yield from net.send_metadata("a", "b")
+
+        sim.process(meta())
+        sim.run()
+        assert net.stats.metadata_messages == 1
+        assert net.stats.metadata_bytes == 128
+
+    def test_busy_time_accumulates(self):
+        sim = Simulator()
+        net = Network(sim, NetworkConfig(latency_s=0.001, bandwidth_bps=1e6))
+        run_transfers(net, sim, [("a", "b", 1000)])
+        assert net.stats.busy_time == pytest.approx(0.002)
+
+
+class TestConservationProperties:
+    def test_bytes_conserved(self):
+        """Recorded byte totals equal the sum of issued transfer sizes."""
+        import numpy as np
+
+        sim = Simulator()
+        net = Network(sim, NetworkConfig(latency_s=1e-4, bandwidth_bps=1e7))
+        rng = np.random.default_rng(0)
+        sizes = [int(rng.integers(1, 10_000)) for _ in range(40)]
+        endpoints = [f"n{rng.integers(0, 6)}" for _ in range(80)]
+        issued = []
+        for i, n in enumerate(sizes):
+            src, dst = endpoints[2 * i], endpoints[2 * i + 1]
+            issued.append((src, dst, n))
+
+        def xfer(src, dst, n):
+            yield from net.transfer(src, dst, n)
+
+        for src, dst, n in issued:
+            sim.process(xfer(src, dst, n))
+        sim.run()
+        assert net.stats.messages == len(issued)
+        assert net.stats.bytes == sum(n for _, _, n in issued)
+        # Per-endpoint accounting double-counts (src and dst).
+        assert sum(net.stats.per_endpoint_bytes.values()) >= net.stats.bytes
+
+    def test_busy_time_at_least_wire_time(self):
+        sim = Simulator()
+        cfg = NetworkConfig(latency_s=1e-3, bandwidth_bps=1e6)
+        net = Network(sim, cfg)
+
+        def xfer(i):
+            yield from net.transfer("a", f"b{i}", 1000)
+
+        for i in range(5):
+            sim.process(xfer(i))
+        sim.run()
+        wire = 5 * net.transfer_time(1000)
+        # Shared source NIC adds queueing on top of raw wire time.
+        assert net.stats.busy_time >= wire

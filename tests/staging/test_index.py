@@ -1,0 +1,78 @@
+"""Tests for the spatial index."""
+
+import pytest
+
+from repro.staging.domain import BBox, Domain
+from repro.staging.index import SpatialIndex
+
+
+class TestRoundRobin:
+    def test_block_assignment(self):
+        d = Domain((16,), (4,))
+        idx = SpatialIndex(d, n_servers=2)
+        assert [idx.primary_of_block(b) for b in range(4)] == [0, 1, 0, 1]
+
+    def test_balance(self):
+        d = Domain((8, 8, 8), (2, 2, 2))  # 64 blocks
+        idx = SpatialIndex(d, n_servers=8)
+        counts = idx.blocks_per_server()
+        assert all(c == 8 for c in counts.values())
+
+    def test_out_of_range(self):
+        d = Domain((8,), (4,))
+        idx = SpatialIndex(d, 2)
+        with pytest.raises(IndexError):
+            idx.primary_of_block(5)
+
+
+class TestHashScheme:
+    def test_deterministic(self):
+        d = Domain((16,), (4,))
+        a = SpatialIndex(d, 4, scheme="hash")
+        b = SpatialIndex(d, 4, scheme="hash")
+        assert [a.primary_of_block(i, "v") for i in range(4)] == [
+            b.primary_of_block(i, "v") for i in range(4)
+        ]
+
+    def test_name_sensitivity(self):
+        d = Domain((16, 16), (2, 2))
+        idx = SpatialIndex(d, 8, scheme="hash")
+        a = [idx.primary_of_block(i, "var_a") for i in range(d.n_blocks)]
+        b = [idx.primary_of_block(i, "var_b") for i in range(d.n_blocks)]
+        assert a != b
+
+    def test_roughly_balanced(self):
+        d = Domain((16, 16), (2, 2))  # 64 blocks
+        idx = SpatialIndex(d, 4, scheme="hash")
+        counts = idx.blocks_per_server("v")
+        assert min(counts.values()) > 0
+        assert max(counts.values()) < 2 * (d.n_blocks // 4)
+
+
+class TestLocate:
+    def test_locate_full_domain(self):
+        d = Domain((16,), (4,))
+        idx = SpatialIndex(d, 2)
+        located = idx.locate(d.bbox)
+        assert located == {0: [0, 2], 1: [1, 3]}
+
+    def test_locate_partial(self):
+        d = Domain((16,), (4,))
+        idx = SpatialIndex(d, 2)
+        located = idx.locate(BBox((0,), (4,)))
+        assert located == {0: [0]}
+
+    def test_locate_outside(self):
+        d = Domain((16,), (4,))
+        idx = SpatialIndex(d, 2)
+        assert idx.locate(BBox((100,), (104,))) == {}
+
+
+class TestValidation:
+    def test_bad_scheme(self):
+        with pytest.raises(ValueError):
+            SpatialIndex(Domain((8,), (4,)), 2, scheme="zorder")
+
+    def test_bad_server_count(self):
+        with pytest.raises(ValueError):
+            SpatialIndex(Domain((8,), (4,)), 0)

@@ -1,0 +1,107 @@
+"""Tests for the metadata directory."""
+
+import pytest
+
+from repro.staging.domain import Domain
+from repro.staging.metadata import MetadataDirectory
+from repro.staging.objects import ResilienceState, StripeInfo
+
+
+def make_dir():
+    return MetadataDirectory(Domain((16,), (4,)), n_servers=4)
+
+
+class TestEntityRegistry:
+    def test_get_or_create_idempotent(self):
+        d = make_dir()
+        a = d.get_or_create("v", 1, primary=2)
+        b = d.get_or_create("v", 1, primary=3)  # primary arg ignored on reuse
+        assert a is b
+        assert a.primary == 2
+
+    def test_get_missing_returns_none(self):
+        assert make_dir().get("v", 0) is None
+
+    def test_require_missing_raises(self):
+        with pytest.raises(KeyError):
+            make_dir().require("v", 0)
+
+    def test_entity_bbox_from_domain(self):
+        d = make_dir()
+        e = d.get_or_create("v", 2, 0)
+        assert e.bbox.lb == (8,)
+
+    def test_owner_is_stable_and_in_range(self):
+        d = make_dir()
+        o1 = d.owner_of(("v", 3))
+        o2 = d.owner_of(("v", 3))
+        assert o1 == o2
+        assert 0 <= o1 < 4
+
+    def test_entities_on_server(self):
+        d = make_dir()
+        d.get_or_create("v", 0, primary=1)
+        d.get_or_create("v", 1, primary=2)
+        d.get_or_create("v", 2, primary=1)
+        assert {e.block_id for e in d.entities_on_server(1)} == {0, 2}
+
+    def test_entities_in_state(self):
+        d = make_dir()
+        e = d.get_or_create("v", 0, 0)
+        e.state = ResilienceState.REPLICATED
+        assert d.entities_in_state(ResilienceState.REPLICATED) == [e]
+        assert d.entities_in_state(ResilienceState.ENCODED) == []
+
+
+class TestStripeRegistry:
+    def test_stripe_ids_monotonic(self):
+        d = make_dir()
+        assert d.new_stripe_id() == 0
+        assert d.new_stripe_id() == 1
+
+    def test_register_and_drop(self):
+        d = make_dir()
+        s = StripeInfo(0, 2, 1, [("v", 0), ("v", 1)], {}, [0, 1, 2], [4, 4], 4)
+        d.register_stripe(s)
+        assert d.stripes[0] is s
+        d.drop_stripe(0)
+        assert 0 not in d.stripes
+        d.drop_stripe(0)  # idempotent
+
+
+class TestStorageBreakdown:
+    def test_empty(self):
+        d = make_dir()
+        b = d.storage_breakdown()
+        assert b == {"original": 0, "replica_overhead": 0, "parity_overhead": 0}
+        assert d.storage_efficiency() == 1.0
+
+    def test_replicated_entity(self):
+        d = make_dir()
+        e = d.get_or_create("v", 0, 0)
+        e.record_write(0.0, 0, 100, "x")
+        e.state = ResilienceState.REPLICATED
+        e.replicas = [1]
+        b = d.storage_breakdown()
+        assert b["original"] == 100
+        assert b["replica_overhead"] == 100
+        assert d.storage_efficiency() == 0.5
+
+    def test_encoded_entities_count_stripe_once(self):
+        d = make_dir()
+        s = StripeInfo(0, 2, 1, [("v", 0), ("v", 1)], {}, [0, 1, 2], [100, 100], 100)
+        d.register_stripe(s)
+        for bid in (0, 1):
+            e = d.get_or_create("v", bid, bid)
+            e.record_write(0.0, 0, 100, "x")
+            e.state = ResilienceState.ENCODED
+            e.stripe = s
+        b = d.storage_breakdown()
+        assert b["original"] == 200
+        assert b["parity_overhead"] == 100
+        assert d.storage_efficiency() == pytest.approx(200 / 300)
+
+    def test_unwritten_entity_ignored(self):
+        d = make_dir()
+        d.get_or_create("v", 0, 0)
+        assert d.storage_breakdown()["original"] == 0

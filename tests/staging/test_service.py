@@ -1,0 +1,264 @@
+"""Tests for the assembled staging service (put/get, verification, failover)."""
+
+import numpy as np
+import pytest
+
+from repro import BBox, DataLossError, StagingConfig, StagingService, NoResilience, ReplicationPolicy
+from repro.staging.objects import ResilienceState
+
+from tests.conftest import make_service, small_config
+
+
+class TestConfigValidation:
+    def test_too_few_servers_for_code(self):
+        with pytest.raises(ValueError):
+            StagingConfig(n_servers=2, k=3, n_level=1)
+
+    def test_group_divisibility_enforced(self):
+        # 10 servers: 10 % (k+m=4) != 0 -> layout construction must fail.
+        with pytest.raises(ValueError):
+            StagingService(small_config(n_servers=10), NoResilience())
+
+
+class TestSynthPayloads:
+    def test_deterministic(self):
+        a = StagingService.synth_payload("v", 1, 2, 64)
+        b = StagingService.synth_payload("v", 1, 2, 64)
+        assert (a == b).all()
+
+    def test_version_distinct(self):
+        a = StagingService.synth_payload("v", 1, 1, 64)
+        b = StagingService.synth_payload("v", 1, 2, 64)
+        assert not (a == b).all()
+
+    def test_block_distinct(self):
+        a = StagingService.synth_payload("v", 1, 1, 64)
+        b = StagingService.synth_payload("v", 2, 1, 64)
+        assert not (a == b).all()
+
+
+class TestPutGet:
+    def test_roundtrip_synthetic(self):
+        svc = make_service("none")
+        box = svc.domain.bbox
+
+        def wf():
+            yield from svc.put("w0", "v", box)
+            dur, payloads = yield from svc.get("r0", "v", box)
+            assert len(payloads) == svc.domain.n_blocks
+
+        svc.run_workflow(wf())
+        assert svc.read_errors == 0
+
+    def test_roundtrip_explicit_data(self):
+        svc = make_service("none")
+        box = svc.domain.block_bbox(0)
+        data = (np.arange(box.volume) % 251).astype(np.uint8).reshape(box.shape)
+
+        def wf():
+            yield from svc.put("w0", "v", box, data=data)
+            _, payloads = yield from svc.get("r0", "v", box)
+            got = payloads[0]
+            assert (got == data.ravel()).all()
+
+        svc.run_workflow(wf())
+
+    def test_partial_block_write_is_read_modify_write(self):
+        svc = make_service("none")
+        block = svc.domain.block_bbox(0)
+        sub = BBox(block.lb, tuple(l + s // 2 for l, s in zip(block.lb, block.shape)))
+        full = np.ones(block.shape, dtype=np.uint8)
+        patch = np.full(sub.shape, 7, dtype=np.uint8)
+
+        def wf():
+            yield from svc.put("w0", "v", block, data=full)
+            yield from svc.put("w0", "v", sub, data=patch)
+            _, payloads = yield from svc.get("r0", "v", block)
+            got = payloads[0].reshape(block.shape)
+            inner = tuple(slice(0, s // 2) for s in block.shape)
+            assert (got[inner] == 7).all()
+            # Untouched corner still holds the original write.
+            assert got[-1, -1, -1] == 1
+
+        svc.run_workflow(wf())
+
+    def test_wrong_data_size_raises(self):
+        svc = make_service("none")
+        box = svc.domain.block_bbox(0)
+
+        def wf():
+            yield from svc.put("w0", "v", box, data=np.zeros(3, np.uint8))
+
+        with pytest.raises(ValueError, match="bytes"):
+            svc.run_workflow(wf())
+
+    def test_versioning_overwrites(self):
+        svc = make_service("none")
+        box = svc.domain.block_bbox(0)
+
+        def wf():
+            yield from svc.put("w0", "v", box)
+            yield from svc.put("w0", "v", box)
+            ent = svc.directory.require("v", 0)
+            assert ent.version == 1
+            _, payloads = yield from svc.get("r0", "v", box)
+            expected = StagingService.synth_payload("v", 0, 1, ent.nbytes)
+            assert (payloads[0] == expected).all()
+
+        svc.run_workflow(wf())
+
+    def test_get_never_staged_raises(self):
+        svc = make_service("none")
+
+        def wf():
+            yield from svc.get("r0", "v", svc.domain.bbox)
+
+        with pytest.raises(KeyError):
+            svc.run_workflow(wf())
+
+    def test_put_outside_domain_raises(self):
+        svc = make_service("none")
+
+        def wf():
+            yield from svc.put("w0", "v", BBox((100, 100, 100), (128, 128, 128)))
+
+        with pytest.raises(ValueError):
+            svc.run_workflow(wf())
+
+    def test_metrics_recorded(self):
+        svc = make_service("none")
+
+        def wf():
+            yield from svc.put("w0", "v", svc.domain.bbox)
+            yield from svc.get("r0", "v", svc.domain.bbox)
+
+        svc.run_workflow(wf())
+        assert svc.metrics.put_stat.n == 1
+        assert svc.metrics.get_stat.n == 1
+        assert svc.metrics.put_stat.mean > 0
+
+    def test_response_time_positive_and_ordered(self):
+        svc = make_service("replication")
+
+        def wf():
+            d1 = yield from svc.put("w0", "v", svc.domain.bbox)
+            assert d1 > 0
+
+        svc.run_workflow(wf())
+
+
+class TestFailover:
+    def test_data_loss_without_resilience(self):
+        svc = make_service("none")
+        box = svc.domain.bbox
+
+        def wf():
+            yield from svc.put("w0", "v", box)
+            svc.fail_server(0)
+            yield from svc.get("r0", "v", box)
+
+        with pytest.raises(DataLossError):
+            svc.run_workflow(wf())
+
+    def test_replicated_survives_failure(self):
+        svc = make_service("replication")
+        box = svc.domain.bbox
+
+        def wf():
+            yield from svc.put("w0", "v", box)
+            svc.fail_server(0)
+            _, payloads = yield from svc.get("r0", "v", box)
+            assert len(payloads) == svc.domain.n_blocks
+
+        svc.run_workflow(wf())
+        assert svc.read_errors == 0
+
+    def test_write_redirects_from_failed_primary(self):
+        svc = make_service("replication")
+        box = svc.domain.block_bbox(0)
+        ent_primary = svc.index.primary_of_block(0)
+
+        def wf():
+            yield from svc.put("w0", "v", box)
+            svc.fail_server(ent_primary)
+            yield from svc.put("w0", "v", box)
+            ent = svc.directory.require("v", 0)
+            assert ent.primary != ent_primary
+            _, payloads = yield from svc.get("r0", "v", box)
+            assert len(payloads) == 1
+
+        svc.run_workflow(wf())
+        assert svc.read_errors == 0
+
+    def test_alive_servers(self):
+        svc = make_service("none")
+        svc.fail_server(3)
+        assert 3 not in svc.alive_servers()
+        svc.replace_server(3)
+        assert 3 in svc.alive_servers()
+
+
+class TestStepOrchestration:
+    def test_end_step_advances(self):
+        svc = make_service("none")
+
+        def wf():
+            assert svc.step == 0
+            yield from svc.end_step()
+            assert svc.step == 1
+
+        svc.run_workflow(wf())
+
+    def test_efficiency_sampled_per_step(self):
+        svc = make_service("replication")
+
+        def wf():
+            yield from svc.put("w0", "v", svc.domain.bbox)
+            yield from svc.end_step()
+
+        svc.run_workflow(wf())
+        assert len(svc.metrics.efficiency_series) == 1
+        assert svc.metrics.efficiency_series.values[0] == pytest.approx(0.5)
+
+
+class TestVerifyAll:
+    def test_clean_service_verifies_everything(self):
+        svc = make_service("corec")
+
+        def wf():
+            yield from svc.put("w0", "v", svc.domain.bbox)
+            yield from svc.end_step()
+            yield from svc.flush()
+
+        svc.run_workflow(wf())
+        svc.run()
+        audit = svc.verify_all()
+        assert audit["verified"] == svc.domain.n_blocks
+        assert audit["unrecoverable"] == []
+
+    def test_detects_genuine_loss(self):
+        svc = make_service("none")
+
+        def wf():
+            yield from svc.put("w0", "v", svc.domain.bbox)
+
+        svc.run_workflow(wf())
+        svc.fail_server(0)
+        audit = svc.verify_all()
+        assert len(audit["unrecoverable"]) > 0
+        assert audit["verified"] + len(audit["unrecoverable"]) == svc.domain.n_blocks
+
+    def test_survives_through_failure_with_corec(self):
+        svc = make_service("corec")
+
+        def wf():
+            for _ in range(2):
+                yield from svc.put("w0", "v", svc.domain.bbox)
+                yield from svc.end_step()
+            yield from svc.flush()
+
+        svc.run_workflow(wf())
+        svc.run()
+        svc.fail_server(3)
+        audit = svc.verify_all()
+        assert audit["unrecoverable"] == []

@@ -1,0 +1,80 @@
+"""Tests for the structured event log."""
+
+import pytest
+
+from repro.util.eventlog import Event, EventLog
+
+
+class TestEventLog:
+    def test_emit_and_len(self):
+        log = EventLog()
+        log.emit(1.0, "put", source="s0", nbytes=10)
+        log.emit(2.0, "get", source="s1")
+        assert len(log) == 2
+
+    def test_event_fields(self):
+        log = EventLog()
+        ev = log.emit(1.5, "encode", source="s3", stripe=7)
+        assert ev.t == 1.5
+        assert ev.kind == "encode"
+        assert ev.source == "s3"
+        assert ev.data == {"stripe": 7}
+
+    def test_of_kind_filters(self):
+        log = EventLog()
+        for kind in ("a", "b", "a", "c"):
+            log.emit(0.0, kind)
+        assert len(log.of_kind("a")) == 2
+        assert len(log.of_kind("a", "c")) == 3
+
+    def test_between_half_open(self):
+        log = EventLog()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            log.emit(t, "x")
+        assert [e.t for e in log.between(1.0, 3.0)] == [1.0, 2.0]
+
+    def test_between_with_kind_filter(self):
+        log = EventLog()
+        log.emit(1.0, "a")
+        log.emit(1.5, "b")
+        assert [e.kind for e in log.between(0, 2, kinds=["b"])] == ["b"]
+
+    def test_count(self):
+        log = EventLog()
+        log.emit(0, "a")
+        log.emit(0, "a")
+        assert log.count("a") == 2
+        assert log.count("zzz") == 0
+
+    def test_capacity_bound(self):
+        log = EventLog(capacity=2)
+        for i in range(5):
+            log.emit(i, "x")
+        assert len(log) == 2
+
+    def test_subscribe_listener(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.emit(1.0, "x")
+        assert len(seen) == 1 and seen[0].kind == "x"
+
+    def test_listener_fires_even_when_capacity_full(self):
+        log = EventLog(capacity=1)
+        seen = []
+        log.emit(0, "a")
+        log.subscribe(seen.append)
+        log.emit(1, "b")
+        assert len(log) == 1 and len(seen) == 1
+
+    def test_clear(self):
+        log = EventLog()
+        log.emit(0, "x")
+        log.clear()
+        assert len(log) == 0
+
+    def test_events_are_frozen(self):
+        log = EventLog()
+        ev = log.emit(0, "x")
+        with pytest.raises(AttributeError):
+            ev.kind = "y"

@@ -1,0 +1,38 @@
+"""Tests for unit helpers."""
+
+from repro.util.units import GB, KB, MB, fmt_bytes, fmt_time
+
+
+class TestConstants:
+    def test_values(self):
+        assert KB == 1024
+        assert MB == 1024**2
+        assert GB == 1024**3
+
+
+class TestFmtBytes:
+    def test_bytes(self):
+        assert fmt_bytes(12) == "12 B"
+
+    def test_kilobytes(self):
+        assert fmt_bytes(4 * KB) == "4.0 KB"
+
+    def test_megabytes(self):
+        assert fmt_bytes(320 * MB) == "320.0 MB"
+
+    def test_gigabytes(self):
+        assert fmt_bytes(2 * GB) == "2.0 GB"
+
+
+class TestFmtTime:
+    def test_minutes(self):
+        assert fmt_time(120) == "2.00 min"
+
+    def test_seconds(self):
+        assert fmt_time(2.5) == "2.500 s"
+
+    def test_millis(self):
+        assert fmt_time(0.0123) == "12.300 ms"
+
+    def test_micros(self):
+        assert fmt_time(15e-6) == "15.0 us"

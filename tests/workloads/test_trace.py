@@ -1,0 +1,131 @@
+"""Tests for access-trace record/replay."""
+
+import pytest
+
+from repro.staging.domain import BBox
+from repro.workloads.trace import AccessTrace, TraceOp
+
+from tests.conftest import make_service
+
+
+class TestTraceRecording:
+    def test_record_and_len(self):
+        t = AccessTrace()
+        t.record(0, "put", "w0", "v", BBox((0,), (4,)))
+        t.record(1, "get", "r0", "v", BBox((0,), (4,)))
+        assert len(t) == 2
+
+    def test_unknown_op_rejected(self):
+        t = AccessTrace()
+        with pytest.raises(ValueError):
+            t.record(0, "del", "w0", "v", BBox((0,), (4,)))
+
+    def test_steps_sorted_unique(self):
+        t = AccessTrace()
+        for s in (3, 1, 1, 2):
+            t.record(s, "put", "w", "v", BBox((0,), (4,)))
+        assert t.steps() == [1, 2, 3]
+
+    def test_ops_for_step(self):
+        t = AccessTrace()
+        t.record(0, "put", "w", "v", BBox((0,), (4,)))
+        t.record(1, "get", "r", "v", BBox((0,), (4,)))
+        assert len(t.ops_for_step(0)) == 1
+        assert t.ops_for_step(1)[0].op == "get"
+
+    def test_bbox_roundtrip(self):
+        op = TraceOp(0, "put", "w", "v", (0, 0), (4, 4))
+        assert op.bbox == BBox((0, 0), (4, 4))
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        t = AccessTrace()
+        t.record(0, "put", "w0", "v", BBox((0, 0), (8, 8)))
+        t.record(1, "get", "r0", "v", BBox((0, 0), (4, 4)))
+        restored = AccessTrace.from_json(t.to_json())
+        assert restored.ops == t.ops
+
+    def test_file_roundtrip(self, tmp_path):
+        t = AccessTrace()
+        t.record(0, "put", "w0", "v", BBox((0,), (8,)))
+        path = str(tmp_path / "trace.json")
+        t.save(path)
+        assert AccessTrace.load(path).ops == t.ops
+
+
+class TestReplay:
+    def test_replay_against_service(self):
+        svc = make_service("replication")
+        t = AccessTrace()
+        t.record(0, "put", "w0", "v", svc.domain.bbox)
+        t.record(1, "get", "r0", "v", svc.domain.bbox)
+        svc.run_workflow(t.replay(svc))
+        assert svc.metrics.put_stat.n == 1
+        assert svc.metrics.get_stat.n == 1
+        assert svc.read_errors == 0
+
+    def test_replay_is_reproducible_across_policies(self):
+        t = AccessTrace()
+        box = None
+        for step in range(3):
+            svc_probe = make_service("none")
+            box = svc_probe.domain.bbox
+            t.record(step, "put", "w0", "v", box)
+        for policy in ("replication", "erasure", "corec"):
+            svc = make_service(policy)
+            svc.run_workflow(t.replay(svc))
+            svc.run()
+            assert all(e.write_count == 3 for e in svc.directory.entities.values())
+
+
+class TestTraceRecorder:
+    def test_records_and_replays(self):
+        from repro.workloads.trace import TraceRecorder
+
+        svc = make_service("replication")
+        recorder = TraceRecorder(svc)
+
+        def wf():
+            yield from svc.put("w0", "v", svc.domain.bbox)
+            yield from svc.end_step()
+            yield from svc.get("r0", "v", svc.domain.bbox)
+            yield from svc.end_step()
+
+        svc.run_workflow(wf())
+        trace = recorder.detach()
+        assert len(trace) == 2
+        assert [o.op for o in trace.ops] == ["put", "get"]
+
+        # Replay against a different policy: same op counts, no errors.
+        svc2 = make_service("corec")
+        svc2.run_workflow(trace.replay(svc2))
+        svc2.run()
+        assert svc2.metrics.put_stat.n == 1
+        assert svc2.metrics.get_stat.n == 1
+        assert svc2.read_errors == 0
+
+    def test_detach_restores_methods(self):
+        from repro.workloads.trace import TraceRecorder
+
+        svc = make_service("none")
+        recorder = TraceRecorder(svc)
+        assert "put" in svc.__dict__  # instrumented via instance attribute
+        recorder.detach()
+        assert "put" not in svc.__dict__  # class method restored
+        assert svc.put.__func__ is type(svc).put
+
+    def test_recorded_trace_serializes(self, tmp_path):
+        from repro.workloads.trace import TraceRecorder
+
+        svc = make_service("none")
+        recorder = TraceRecorder(svc)
+
+        def wf():
+            yield from svc.put("w0", "v", svc.domain.bbox)
+
+        svc.run_workflow(wf())
+        trace = recorder.detach()
+        path = str(tmp_path / "t.json")
+        trace.save(path)
+        assert AccessTrace.load(path).ops == trace.ops
