@@ -3,8 +3,12 @@
 Not a paper figure: these benchmarks track the host-side performance of
 the erasure substrate itself (the part that does real computation), so
 regressions in the vectorized kernels are caught. Numbers are whatever
-the host delivers; the assertions only guard against catastrophic
-de-vectorization (e.g. a Python-loop fallback).
+the host delivers; the assertions guard against de-vectorization — the
+floors assume the fused table-gather kernels, so a fallback to either a
+Python loop or the unfused per-coefficient path trips them.
+
+``benchmarks/check_regression.py`` complements these floors with a
+committed-baseline comparison (BENCH_codec.json) run in CI.
 """
 
 from __future__ import annotations
@@ -16,6 +20,8 @@ from repro.erasure import RSCode
 from repro.erasure.gf256 import GF256
 
 SHARD = 1 << 20  # 1 MiB shards
+BATCH_STRIPES = 32
+BATCH_SHARD = 2048  # staging-object-sized shards: where batching pays most
 
 
 @pytest.fixture(scope="module")
@@ -33,7 +39,7 @@ def test_gf_addmul_throughput(benchmark, shards):
     benchmark(run)
     mbps = SHARD / benchmark.stats["mean"] / 1e6
     benchmark.extra_info["MB_per_s"] = mbps
-    assert mbps > 50, f"GF addmul de-vectorized? {mbps:.1f} MB/s"
+    assert mbps > 150, f"GF addmul de-vectorized? {mbps:.1f} MB/s"
 
 
 @pytest.mark.parametrize("k,m", [(3, 1), (6, 3)])
@@ -47,7 +53,25 @@ def test_rs_encode_throughput(benchmark, shards, k, m):
     data_mb = k * SHARD / 1e6
     mbps = data_mb / benchmark.stats["mean"]
     benchmark.extra_info["data_MB_per_s"] = mbps
-    assert mbps > 20, f"RS({k},{m}) encode too slow: {mbps:.1f} MB/s"
+    assert mbps > 100, f"RS({k},{m}) encode too slow: {mbps:.1f} MB/s"
+
+
+def test_rs_encode_batch_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    code = RSCode(6, 3)
+    stripes = [
+        [rng.integers(0, 256, BATCH_SHARD, dtype=np.uint8) for _ in range(6)]
+        for _ in range(BATCH_STRIPES)
+    ]
+
+    def run():
+        return code.encode_batch(stripes)
+
+    benchmark(run)
+    data_mb = BATCH_STRIPES * 6 * BATCH_SHARD / 1e6
+    mbps = data_mb / benchmark.stats["mean"]
+    benchmark.extra_info["data_MB_per_s"] = mbps
+    assert mbps > 100, f"batched encode too slow: {mbps:.1f} MB/s"
 
 
 def test_rs_decode_throughput(benchmark, shards):
@@ -61,7 +85,24 @@ def test_rs_decode_throughput(benchmark, shards):
     benchmark(run)
     mbps = 4 * SHARD / 1e6 / benchmark.stats["mean"]
     benchmark.extra_info["data_MB_per_s"] = mbps
-    assert mbps > 10
+    assert mbps > 50
+
+
+def test_rs_reconstruct_shard_throughput(benchmark, shards):
+    # Single missing shard: one combination-row kernel pass, so this must
+    # run ~k times faster (per stripe) than the full decode above.
+    code = RSCode(6, 3)
+    parity = code.encode(shards[:6])
+    full = {i: s for i, s in enumerate(shards[:6] + parity)}
+    present = {i: s for i, s in full.items() if i != 3}
+
+    def run():
+        return code.reconstruct_shard(present, 3)
+
+    benchmark(run)
+    mbps = SHARD / 1e6 / benchmark.stats["mean"]
+    benchmark.extra_info["shard_MB_per_s"] = mbps
+    assert mbps > 50, f"single-shard reconstruct too slow: {mbps:.1f} MB/s"
 
 
 def test_parity_delta_update_throughput(benchmark, shards):
@@ -75,6 +116,4 @@ def test_parity_delta_update_throughput(benchmark, shards):
     benchmark(run)
     mbps = SHARD / 1e6 / benchmark.stats["mean"]
     benchmark.extra_info["MB_per_s"] = mbps
-    # The delta update must beat a full stripe re-encode per byte.
-    encode_time_est = benchmark.stats["mean"] * 2  # loose sanity bound
-    assert mbps > 10
+    assert mbps > 30

@@ -142,13 +142,34 @@ class RecoveryManager:
         if self.rt.server(sid).failed:
             return  # failed again before the sweep ran
         tasks = []
+        decode_stripes = []
         for ent in self._lost_primaries(sid):
             tasks.append(self.rt.recover_primary(ent))
+            if ent.stripe is not None:
+                decode_stripes.append(ent.stripe)
         for ent in self._lost_replicas(sid):
             tasks.append(self.rt.recover_replica(ent, sid))
         for stripe, idx in self._lost_parities(sid):
             tasks.append(self.rt.recover_parity(stripe, idx))
+            decode_stripes.append(stripe)
+        self._warm_decode_matrices(decode_stripes)
         yield from self._run_limited(tasks)
+
+    def _warm_decode_matrices(self, stripes: list[StripeInfo]) -> None:
+        """Batch-build the decode matrices a repair burst is about to need.
+
+        One pure-compute pass over the distinct erasure patterns turns every
+        per-repair Gauss-Jordan inversion into an LRU hit.  Host-side only:
+        no simulator events, so traces and metrics are untouched; patterns
+        that shift before a repair runs merely cost an unused cache entry.
+        """
+        patterns = {
+            pattern
+            for stripe in stripes
+            if (pattern := self.rt.stripe_survivor_pattern(stripe)) is not None
+        }
+        if patterns:
+            self.rt.codec.code.warm_decode_cache(patterns)
 
     def _run_limited(self, tasks: list, width: int | None = None) -> Generator:
         """Run repair generators with bounded parallelism."""
@@ -272,6 +293,7 @@ class RecoveryManager:
     def _aggressive_recover(self, sid: int) -> Generator:
         """Reconstruct everything lost on ``sid`` onto survivors, now."""
         tasks = []
+        decode_stripes = []
         for ent in self._lost_primaries(sid):
             onto = self._pick_survivor(ent, exclude=sid)
             if onto is None:
@@ -281,6 +303,8 @@ class RecoveryManager:
                 tasks.append(self._promote_replica(ent, sid))
             else:
                 tasks.append(self.rt.recover_primary(ent, onto=onto))
+                if ent.stripe is not None:
+                    decode_stripes.append(ent.stripe)
         for ent in self._lost_replicas(sid):
             # Re-replicate onto another live member of the replication
             # group when one exists; otherwise the replica remains owed to
@@ -299,6 +323,8 @@ class RecoveryManager:
             onto = self._pick_parity_survivor(stripe, exclude=sid)
             if onto is not None:
                 tasks.append(self.rt.recover_parity(stripe, idx, onto=onto))
+                decode_stripes.append(stripe)
+        self._warm_decode_matrices(decode_stripes)
         yield from self._run_limited(tasks, width=self.config.aggressive_parallelism)
 
     def _promote_replica(self, ent: BlockEntity, dead_sid: int) -> Generator:

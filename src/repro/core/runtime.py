@@ -37,6 +37,7 @@ from typing import Callable, Generator, Sequence
 
 import numpy as np
 
+from repro.erasure.batch import CodingBatch
 from repro.erasure.gf256 import GF256
 from repro.erasure.reedsolomon import StripeCodec
 from repro.sim.engine import Simulator
@@ -89,6 +90,14 @@ class StagingRuntime:
         self.codec = codec
         self.log = log or EventLog()
         self.costs = self.servers[0].costs
+        # Batched coding data path: stripe encodes are submitted to the
+        # batch and forced when their bytes are needed, so every numeric
+        # pass runs through the fused batch kernels.  Purely host-side —
+        # simulated costs are charged per stripe exactly as before, and
+        # ``batch_coding = False`` (the stripe-at-a-time path) produces
+        # bit-identical stripes and identical event traces.
+        self.batch_coding = True
+        self.coding_batch = CodingBatch(codec.code)
         # Pending (not yet striped) entities per coding group, keyed by the
         # primary server each entity would contribute a data shard from.
         self.pending: dict[int, dict[int, list[EntityKey]]] = {}
@@ -132,6 +141,20 @@ class StagingRuntime:
         if self.alive(owner):
             yield from self.busy(owner, self.costs.metadata_op_s, "metadata")
         self.metrics.count("metadata_updates")
+
+    def _encode_stripe(self, payloads: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Compute one stripe's parities through the batched coding path.
+
+        The job joins whatever encodes are already pending and the whole
+        batch is computed in one fused kernel flush.  Within the simulator
+        a stripe's bytes are stored before the next flow runs, so the
+        flush is usually immediate — the point is that *every* encode goes
+        through the batch kernels, so drains that can overlap submissions
+        fuse automatically and cost nothing extra when they cannot.
+        """
+        if not self.batch_coding:
+            return self.codec.code.encode(payloads)
+        return self.coding_batch.submit_encode(payloads).result()
 
     @staticmethod
     def _pad(buf: np.ndarray, length: int) -> np.ndarray:
@@ -471,7 +494,7 @@ class StagingRuntime:
             slot_keys.append(e.key)
 
         yield from self.busy(exec_sid, self.costs.encode_cost(k, m, shard_len), "encode")
-        parities = self.codec.code.encode(payloads)
+        parities = self._encode_stripe(payloads)
         self.metrics.count("stripe_encodes")
 
         parity_plan: list[tuple[int, int, np.ndarray]] = []
@@ -792,7 +815,7 @@ class StagingRuntime:
         yield from self.busy(
             exec_sid, self.costs.encode_cost(stripe.k, stripe.m, stripe.shard_len), "encode"
         )
-        parities = self.codec.code.encode(shards)
+        parities = self._encode_stripe(shards)
         staged: list[tuple[StagingServer, str, np.ndarray]] = []
         for i, parity in enumerate(parities):
             psid = stripe.shard_servers[stripe.k + i]
@@ -1016,6 +1039,18 @@ class StagingRuntime:
             if self.server(sid).has(stripe.shard_key(i)):
                 avail[i] = sid
         return avail
+
+    def stripe_survivor_pattern(self, stripe: StripeInfo) -> tuple[int, ...] | None:
+        """The survivor set a reconstruction of ``stripe`` would decode from.
+
+        Pure state inspection (no simulator events) — used by bulk recovery
+        to pre-warm the decode-matrix cache before a repair burst.  Returns
+        None when the stripe is unrecoverable right now.
+        """
+        avail = self._available_shards(stripe)
+        if len(avail) < stripe.k:
+            return None
+        return tuple(sorted(avail.keys())[: stripe.k])
 
     def _shard_payload(self, stripe: StripeInfo, idx: int) -> np.ndarray:
         if idx < stripe.k:

@@ -1,0 +1,92 @@
+"""Deferred multi-stripe coding batches over one :class:`RSCode`.
+
+The staging runtime forms and repairs stripes one simulated flow at a
+time, but the *numeric* work of those flows need not run one stripe at a
+time: every encode submitted to a :class:`CodingBatch` is deferred until
+some submitter actually needs its bytes, at which point **all** pending
+jobs are flushed through :meth:`RSCode.encode_batch` — one fused kernel
+pass per shard-length group, however many stripes have accumulated.
+
+Within the discrete-event simulator a stripe's parity bytes are stored
+(and thus forced) before the next stripe's flow begins, so batches there
+are usually singletons — the deferral exists so the *data path* is
+batch-shaped: any caller that can hold several submissions open (bulk
+drains, the benchmark harness, a future non-simulated backend) gets
+multi-stripe kernel passes with no API change, and the simulated cost
+model is untouched because deferral moves no simulator events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.erasure.reedsolomon import RSCode
+
+__all__ = ["CodingBatch", "PendingEncode"]
+
+
+class PendingEncode:
+    """Handle for one deferred stripe encode.
+
+    ``result()`` forces the owning batch: every job submitted so far is
+    computed in one batched kernel flush, then this job's parity shards
+    are returned.
+    """
+
+    __slots__ = ("_batch", "_payloads", "_result")
+
+    def __init__(self, batch: "CodingBatch", payloads: Sequence[np.ndarray]):
+        self._batch = batch
+        self._payloads = payloads
+        self._result: list[np.ndarray] | None = None
+
+    @property
+    def ready(self) -> bool:
+        return self._result is not None
+
+    def result(self) -> list[np.ndarray]:
+        if self._result is None:
+            self._batch.flush()
+        assert self._result is not None
+        return self._result
+
+
+class CodingBatch:
+    """Accumulates encode jobs and flushes them through the batched kernels."""
+
+    def __init__(self, code: "RSCode"):
+        self.code = code
+        self._pending: list[PendingEncode] = []
+        # Stats: how batchy the data path actually ran.
+        self.jobs_submitted = 0
+        self.flushes = 0
+        self.largest_flush = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit_encode(self, payloads: Sequence[np.ndarray]) -> PendingEncode:
+        """Queue one stripe's data shards for a later batched encode."""
+        job = PendingEncode(self, payloads)
+        self._pending.append(job)
+        self.jobs_submitted += 1
+        return job
+
+    def flush(self) -> int:
+        """Encode every pending job in one :meth:`RSCode.encode_batch` call.
+
+        Returns the number of jobs flushed.  Safe to call when empty.
+        """
+        if not self._pending:
+            return 0
+        jobs, self._pending = self._pending, []
+        results = self.code.encode_batch([job._payloads for job in jobs])
+        for job, parity in zip(jobs, results):
+            job._result = parity
+            job._payloads = ()
+        self.flushes += 1
+        self.largest_flush = max(self.largest_flush, len(jobs))
+        return len(jobs)

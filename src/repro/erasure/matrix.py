@@ -68,16 +68,10 @@ class GFMatrix:
         a, b = self.a, other.a
         if a.shape[1] != b.shape[0]:
             raise ValueError(f"shape mismatch {a.shape} @ {b.shape}")
-        # log-domain product: for small dims a triple loop in numpy terms
-        out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
-        for i in range(a.shape[0]):
-            row = np.zeros(b.shape[1], dtype=np.uint8)
-            for t in range(a.shape[1]):
-                c = int(a[i, t])
-                if c:
-                    row ^= GF256.MUL[c][b[t]]
-            out[i] = row
-        return GFMatrix(out)
+        # The stripe product and the matrix product are the same operation;
+        # delegate to the fused kernel layer (which routes matrix-sized
+        # operands through the setup-free table kernel).
+        return GFMatrix(GF256.matmul_bytes(a, b))
 
     def __matmul__(self, other: "GFMatrix") -> "GFMatrix":
         return self.matmul(other)

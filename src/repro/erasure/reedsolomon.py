@@ -19,8 +19,9 @@ layer.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -41,9 +42,17 @@ class RSCode:
         Number of parity shards (failures tolerated).
     construction:
         ``"cauchy"`` (default) or ``"vandermonde"`` generator construction.
+    decode_cache_capacity:
+        Bound on the LRU cache of decode (and reconstruction-row) matrices.
     """
 
-    def __init__(self, k: int, m: int, construction: str = "cauchy"):
+    def __init__(
+        self,
+        k: int,
+        m: int,
+        construction: str = "cauchy",
+        decode_cache_capacity: int = 1024,
+    ):
         if k < 1:
             raise ValueError("k must be >= 1")
         if m < 0:
@@ -75,22 +84,50 @@ class RSCode:
         self.parity_rows = self.generator.a[k:, :]
         # Decode matrices are pure functions of the surviving-row set; the
         # same erasure patterns recur constantly during recovery, so the
-        # Gauss-Jordan inversions are cached (as production RS codecs do).
-        self._decode_cache: dict[tuple[int, ...], np.ndarray] = {}
+        # Gauss-Jordan inversions are kept in a bounded LRU (as production
+        # RS codecs do).  Eviction is one-at-a-time from the cold end —
+        # hot patterns survive a cache full of one-off cold ones.
+        if decode_cache_capacity < 1:
+            raise ValueError("decode_cache_capacity must be >= 1")
+        self.decode_cache_capacity = decode_cache_capacity
+        self._decode_cache: OrderedDict[tuple[int, ...], np.ndarray] = OrderedDict()
+        # Single-shard reconstruction rows, keyed (survivor set, target).
+        self._row_cache: OrderedDict[tuple[tuple[int, ...], int], np.ndarray] = OrderedDict()
         self.decode_cache_hits = 0
         self.decode_cache_misses = 0
+        self.decode_cache_evictions = 0
 
     def _decode_matrix(self, chosen: tuple[int, ...]) -> np.ndarray:
         cached = self._decode_cache.get(chosen)
         if cached is not None:
             self.decode_cache_hits += 1
+            self._decode_cache.move_to_end(chosen)
             return cached
         self.decode_cache_misses += 1
         inv = GFMatrix(self.generator.a[list(chosen)]).invert().a
-        if len(self._decode_cache) >= 1024:  # bound the cache
-            self._decode_cache.clear()
+        while len(self._decode_cache) >= self.decode_cache_capacity:
+            self._decode_cache.popitem(last=False)
+            self.decode_cache_evictions += 1
         self._decode_cache[chosen] = inv
         return inv
+
+    def warm_decode_cache(self, patterns: Iterable[tuple[int, ...]]) -> int:
+        """Precompute decode matrices for the given survivor sets.
+
+        Bulk recovery knows every erasure pattern it is about to repair
+        before the repairs run; building the Gauss-Jordan inversions in one
+        pure-compute pass here turns the per-repair lookups into LRU hits.
+        Returns the number of matrices actually built.
+        """
+        built = 0
+        for pattern in patterns:
+            chosen = tuple(sorted(pattern))[: self.k]
+            if len(chosen) < self.k or chosen == tuple(range(self.k)):
+                continue  # unrecoverable / fast path: nothing to invert
+            if chosen not in self._decode_cache:
+                self._decode_matrix(chosen)
+                built += 1
+        return built
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RSCode(k={self.k}, m={self.m}, {self.construction})"
@@ -111,6 +148,90 @@ class RSCode:
             raise ValueError(f"expected {self.k} data shards, got {d.shape[0]}")
         parity = GF256.matmul_bytes(self.parity_rows, d)
         return [parity[i] for i in range(self.m)]
+
+    def encode_batch(
+        self, stripes: Sequence[Sequence[np.ndarray]]
+    ) -> list[list[np.ndarray]]:
+        """Encode many stripes with one kernel pass per shard-length group.
+
+        ``stripes`` is a sequence of S stripes, each ``k`` equal-length data
+        shards.  Stripes of the same shard length are stacked into a single
+        ``(k, S*L)`` matrix so the whole group is one fused matrix product —
+        the batching that makes per-call overhead vanish for the small
+        shards staging actually produces.  Results are byte-identical to
+        calling :meth:`encode` per stripe, in input order.
+        """
+        mats: list[np.ndarray] = []
+        for shards in stripes:
+            d = self._as_shard_matrix(shards)
+            if d.shape[0] != self.k:
+                raise ValueError(f"expected {self.k} data shards, got {d.shape[0]}")
+            mats.append(d)
+        if self.m == 0:
+            return [[] for _ in mats]
+        out: list[list[np.ndarray] | None] = [None] * len(mats)
+        by_len: dict[int, list[int]] = {}
+        for idx, d in enumerate(mats):
+            by_len.setdefault(d.shape[1], []).append(idx)
+        for length, idxs in by_len.items():
+            stacked = (
+                mats[idxs[0]]
+                if len(idxs) == 1
+                else np.concatenate([mats[i] for i in idxs], axis=1)
+            )
+            parity = GF256.matmul_bytes(self.parity_rows, stacked)
+            for pos, idx in enumerate(idxs):
+                block = parity[:, pos * length : (pos + 1) * length]
+                out[idx] = [np.ascontiguousarray(block[i]) for i in range(self.m)]
+        return out  # type: ignore[return-value]
+
+    def decode_batch(
+        self, jobs: Sequence[dict[int, np.ndarray]]
+    ) -> list[list[np.ndarray]]:
+        """Decode many stripes, one kernel pass per (erasure pattern, length).
+
+        Each job is a ``present`` mapping as accepted by :meth:`decode`.
+        Jobs sharing a survivor set and shard length are stacked into one
+        matrix product against the shared decode matrix.  Byte-identical to
+        per-stripe :meth:`decode`, in input order.
+        """
+        plans: list[tuple[int, tuple[int, ...], np.ndarray] | tuple[int, None, list[np.ndarray]]] = []
+        for idx, present in enumerate(jobs):
+            if len(present) < self.k:
+                raise ValueError(
+                    f"unrecoverable: need {self.k} shards, only {len(present)} present"
+                )
+            for i in present:
+                if not 0 <= i < self.n:
+                    raise IndexError(f"shard index {i} out of range 0..{self.n - 1}")
+            if all(i in present for i in range(self.k)):
+                data = [
+                    np.ascontiguousarray(present[i], dtype=np.uint8).ravel()
+                    for i in range(self.k)
+                ]
+                plans.append((idx, None, data))
+                continue
+            chosen = tuple(sorted(present.keys())[: self.k])
+            plans.append((idx, chosen, self._as_shard_matrix([present[i] for i in chosen])))
+        out: list[list[np.ndarray] | None] = [None] * len(jobs)
+        groups: dict[tuple[tuple[int, ...], int], list[tuple[int, np.ndarray]]] = {}
+        for idx, chosen, payload in plans:
+            if chosen is None:
+                out[idx] = payload  # all data shards survived; nothing to invert
+            else:
+                groups.setdefault((chosen, payload.shape[1]), []).append((idx, payload))
+        for (chosen, length), members in groups.items():
+            inv = self._decode_matrix(chosen)
+            stacked = (
+                members[0][1]
+                if len(members) == 1
+                else np.concatenate([mat for _, mat in members], axis=1)
+            )
+            data = GF256.matmul_bytes(inv, stacked)
+            for pos, (idx, _) in enumerate(members):
+                block = data[:, pos * length : (pos + 1) * length]
+                out[idx] = [np.ascontiguousarray(block[i]) for i in range(self.k)]
+        return out  # type: ignore[return-value]
 
     def update_parity(
         self,
@@ -189,17 +310,61 @@ class RSCode:
         data = GF256.matmul_bytes(inv, shard_mat)
         return [data[i] for i in range(self.k)]
 
+    def _reconstruct_row(self, chosen: tuple[int, ...], target: int) -> np.ndarray:
+        """The 1 x k row r with ``shard[target] = r . chosen_shards``.
+
+        For a data target the row is one row of the decode matrix; for a
+        parity target it is the parity generator row composed with the
+        decode matrix (a k-element dot product per entry — matrix-dimension
+        work, not payload-dimension).  Rows are LRU-cached alongside the
+        decode matrices because recovery replays the same erasure patterns.
+        """
+        key = (chosen, target)
+        cached = self._row_cache.get(key)
+        if cached is not None:
+            self._row_cache.move_to_end(key)
+            return cached
+        if chosen == tuple(range(self.k)):
+            # All data shards survive: a parity target is its generator row.
+            row = self.parity_rows[target - self.k : target - self.k + 1].copy()
+        else:
+            inv = self._decode_matrix(chosen)
+            if target < self.k:
+                row = inv[target : target + 1].copy()
+            else:
+                prow = self.parity_rows[target - self.k]
+                acc = np.zeros(self.k, dtype=np.uint8)
+                for j in range(self.k):
+                    GF256.addmul_bytes(acc, int(prow[j]), inv[j])
+                row = acc.reshape(1, self.k)
+        while len(self._row_cache) >= self.decode_cache_capacity:
+            self._row_cache.popitem(last=False)
+        self._row_cache[key] = row
+        return row
+
     def reconstruct_shard(self, present: dict[int, np.ndarray], target: int) -> np.ndarray:
-        """Reconstruct one stripe shard (data *or* parity) by index."""
+        """Reconstruct one stripe shard (data *or* parity) by index.
+
+        A single missing shard costs exactly one payload-sized kernel pass:
+        the target is a linear combination of any k survivors, so the
+        (cached) combination row is applied with one matrix-vector product
+        instead of decoding all k data shards and re-encoding.
+        """
         if not 0 <= target < self.n:
             raise IndexError("target out of range")
         if target in present:
             return np.ascontiguousarray(present[target], dtype=np.uint8).ravel().copy()
-        data = self.decode(present)
-        if target < self.k:
-            return data[target]
-        parity = self.encode(data)
-        return parity[target - self.k]
+        if len(present) < self.k:
+            raise ValueError(
+                f"unrecoverable: need {self.k} shards, only {len(present)} present"
+            )
+        for idx in present:
+            if not 0 <= idx < self.n:
+                raise IndexError(f"shard index {idx} out of range 0..{self.n - 1}")
+        chosen = tuple(sorted(present.keys())[: self.k])
+        row = self._reconstruct_row(chosen, target)
+        shard_mat = self._as_shard_matrix([present[i] for i in chosen])
+        return GF256.matmul_bytes(row, shard_mat)[0]
 
 
 @dataclass
@@ -260,6 +425,33 @@ class StripeCodec:
         data = [self._pad(o, shard_len) for o in objects]
         parity = self.code.encode(data)
         return Stripe(code=self.code, shards=data + parity, lengths=lengths)
+
+    def encode_objects_batch(
+        self, object_groups: Sequence[Sequence[np.ndarray]]
+    ) -> list[Stripe]:
+        """Encode many object groups into stripes with batched kernel passes.
+
+        Each group independently determines its shard length (its longest
+        object); groups that share a shard length are encoded in one fused
+        kernel call via :meth:`RSCode.encode_batch`.  Byte-identical to
+        mapping :meth:`encode_objects` over the groups.
+        """
+        all_lengths: list[list[int]] = []
+        all_data: list[list[np.ndarray]] = []
+        for objects in object_groups:
+            if len(objects) != self.k:
+                raise ValueError(f"expected {self.k} objects, got {len(objects)}")
+            lengths = [int(np.asarray(o).size) for o in objects]
+            shard_len = max(lengths) if lengths else 0
+            if shard_len == 0:
+                raise ValueError("cannot encode empty objects")
+            all_lengths.append(lengths)
+            all_data.append([self._pad(o, shard_len) for o in objects])
+        parities = self.code.encode_batch(all_data)
+        return [
+            Stripe(code=self.code, shards=data + parity, lengths=lengths)
+            for data, parity, lengths in zip(all_data, parities, all_lengths)
+        ]
 
     def decode_objects(self, stripe_lengths: Sequence[int], present: dict[int, np.ndarray]) -> list[np.ndarray]:
         """Recover the original (unpadded) objects from surviving shards."""

@@ -1,0 +1,108 @@
+"""Tests for deferred coding batches and single-pass shard reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.erasure import CodingBatch, GF256, RSCode
+
+
+def make_shards(rng, k, length):
+    return [rng.integers(0, 256, length, dtype=np.uint8) for _ in range(k)]
+
+
+class TestCodingBatch:
+    def test_submissions_defer_until_forced(self):
+        rng = np.random.default_rng(60)
+        code = RSCode(3, 2)
+        batch = CodingBatch(code)
+        stripes = [make_shards(rng, 3, 32) for _ in range(4)]
+        jobs = [batch.submit_encode(s) for s in stripes]
+        assert not any(j.ready for j in jobs)
+        assert len(batch) == 4
+
+        # Forcing any one job flushes every pending job in one batch.
+        first = jobs[2].result()
+        assert all(j.ready for j in jobs)
+        assert len(batch) == 0
+        assert batch.flushes == 1
+        assert batch.largest_flush == 4
+        assert batch.jobs_submitted == 4
+
+        for job, shards in zip(jobs, stripes):
+            ref = code.encode(shards)
+            assert all((a == b).all() for a, b in zip(job.result(), ref))
+        assert all((a == b).all() for a, b in zip(first, code.encode(stripes[2])))
+
+    def test_flush_empty_is_safe(self):
+        batch = CodingBatch(RSCode(2, 1))
+        assert batch.flush() == 0
+        assert batch.flushes == 0
+
+    def test_batch_reusable_after_flush(self):
+        rng = np.random.default_rng(61)
+        code = RSCode(2, 1)
+        batch = CodingBatch(code)
+        a = batch.submit_encode(make_shards(rng, 2, 16))
+        a.result()
+        b = batch.submit_encode(make_shards(rng, 2, 16))
+        b.result()
+        assert batch.flushes == 2
+        assert batch.jobs_submitted == 2
+
+    def test_same_length_batch_is_one_kernel_pass(self):
+        rng = np.random.default_rng(62)
+        code = RSCode(4, 2)
+        batch = CodingBatch(code)
+        jobs = [batch.submit_encode(make_shards(rng, 4, 2048)) for _ in range(8)]
+        GF256.reset_kernel_stats()
+        batch.flush()
+        assert GF256.KERNEL_STATS["matmul_calls"] == 1
+        assert all(j.ready for j in jobs)
+
+
+class TestSinglePassReconstruction:
+    """A single missing shard must cost exactly one fused kernel pass."""
+
+    @pytest.fixture
+    def stripe(self):
+        rng = np.random.default_rng(63)
+        code = RSCode(6, 3)
+        data = make_shards(rng, 6, 2048)
+        parity = code.encode(data)
+        return code, data, parity, {i: s for i, s in enumerate(data + parity)}
+
+    def test_missing_data_shard_is_one_pass(self, stripe):
+        code, data, _, full = stripe
+        present = {i: s for i, s in full.items() if i != 2}
+        GF256.reset_kernel_stats()
+        rec = code.reconstruct_shard(present, 2)
+        assert GF256.KERNEL_STATS["matmul_calls"] == 1
+        assert (rec == data[2]).all()
+
+    def test_missing_parity_shard_is_one_pass(self, stripe):
+        code, _, parity, full = stripe
+        present = {i: s for i, s in full.items() if i != 7}
+        GF256.reset_kernel_stats()
+        rec = code.reconstruct_shard(present, 7)
+        assert GF256.KERNEL_STATS["matmul_calls"] == 1
+        assert (rec == parity[1]).all()
+
+    def test_parity_target_with_data_losses_is_one_pass(self, stripe):
+        # Survivor set mixes data and parity rows, so the combination row
+        # composes the parity generator with the decode matrix — still one
+        # payload-sized kernel pass.
+        code, _, parity, full = stripe
+        present = {i: s for i, s in full.items() if i not in (0, 1, 6)}
+        GF256.reset_kernel_stats()
+        rec = code.reconstruct_shard(present, 6)
+        assert GF256.KERNEL_STATS["matmul_calls"] == 1
+        assert (rec == parity[0]).all()
+
+    def test_warm_row_cache_stays_one_pass(self, stripe):
+        code, data, _, full = stripe
+        present = {i: s for i, s in full.items() if i != 4}
+        code.reconstruct_shard(present, 4)  # builds and caches the row
+        GF256.reset_kernel_stats()
+        rec = code.reconstruct_shard(present, 4)
+        assert GF256.KERNEL_STATS["matmul_calls"] == 1
+        assert (rec == data[4]).all()

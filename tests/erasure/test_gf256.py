@@ -152,3 +152,120 @@ class TestVectorKernels:
                 for j in range(3):
                     acc ^= GF256.mul(int(mat[i, j]), int(shards[j, col]))
                 assert out[i, col] == acc
+
+
+class TestOutParameter:
+    def test_mul_bytes_into_out(self):
+        rng = np.random.default_rng(20)
+        buf = rng.integers(0, 256, 128, dtype=np.uint8)
+        out = np.empty(128, dtype=np.uint8)
+        res = GF256.mul_bytes(37, buf, out=out)
+        assert res is out
+        assert (res == GF256.mul_bytes(37, buf)).all()
+
+    def test_mul_bytes_out_with_zero_and_one(self):
+        buf = np.arange(32, dtype=np.uint8)
+        out = np.full(32, 0xAB, dtype=np.uint8)
+        assert (GF256.mul_bytes(0, buf, out=out) == 0).all()
+        out = np.full(32, 0xAB, dtype=np.uint8)
+        assert (GF256.mul_bytes(1, buf, out=out) == buf).all()
+
+    def test_matmul_bytes_into_out(self):
+        rng = np.random.default_rng(21)
+        mat = rng.integers(0, 256, (3, 4), dtype=np.uint8)
+        shards = rng.integers(0, 256, (4, 64), dtype=np.uint8)
+        out = np.full((3, 64), 0xFF, dtype=np.uint8)
+        res = GF256.matmul_bytes(mat, shards, out=out)
+        assert res is out
+        assert (res == GF256.matmul_bytes(mat, shards)).all()
+
+    def test_matmul_bytes_accumulate_xors_into_out(self):
+        rng = np.random.default_rng(22)
+        mat = rng.integers(0, 256, (2, 3), dtype=np.uint8)
+        shards = rng.integers(0, 256, (3, 16), dtype=np.uint8)
+        base = rng.integers(0, 256, (2, 16), dtype=np.uint8)
+        out = base.copy()
+        GF256.matmul_bytes(mat, shards, out=out, accumulate=True)
+        assert (out == (base ^ GF256.matmul_bytes(mat, shards))).all()
+
+    def test_addmul_no_steady_state_allocation(self):
+        # The scratch pool must be reused: two same-size calls, one buffer.
+        from repro.erasure import gf256
+
+        acc = np.zeros(4096, dtype=np.uint8)
+        buf = np.ones(4096, dtype=np.uint8)
+        GF256.addmul_bytes(acc, 7, buf)
+        snapshot = {k: v.ctypes.data for k, v in gf256._SCRATCH.items()}
+        GF256.addmul_bytes(acc, 9, buf)
+        after = {k: v.ctypes.data for k, v in gf256._SCRATCH.items()}
+        assert snapshot == after
+
+
+# Shapes chosen to cross kernel tails: odd/even row counts (the pairs
+# kernel fuses coefficient columns two at a time), empty dims, single
+# bytes, and payloads spanning the small/large autotune classes.
+KERNEL_SHAPES = [
+    (1, 1, 1),
+    (2, 3, 5),
+    (3, 6, 64),
+    (4, 7, 1000),
+    (3, 4, 0),
+    (0, 3, 16),
+    (2, 5, 40000),
+]
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("name", GF256.available_kernels())
+    @pytest.mark.parametrize("r,k,length", KERNEL_SHAPES)
+    def test_kernel_matches_reference(self, name, r, k, length):
+        rng = np.random.default_rng(r * 1000 + k * 100 + length)
+        mat = rng.integers(0, 256, (r, k), dtype=np.uint8)
+        if r and k:
+            mat[0, 0] = 0  # exercise the zero-coefficient skip
+            mat[-1, -1] = 1  # and the xor-only path
+        shards = rng.integers(0, 256, (k, length), dtype=np.uint8)
+        expected = np.zeros((r, length), dtype=np.uint8)
+        GF256._kernel_reference(mat, shards, expected)
+        GF256.set_kernel(name)
+        try:
+            got = GF256.matmul_bytes(mat, shards)
+        finally:
+            GF256.set_kernel(None)
+        assert (got == expected).all()
+
+    def test_set_kernel_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            GF256.set_kernel("simd9000")
+
+    def test_set_kernel_restores_autotuned_selection(self):
+        before = GF256.selected_kernels()
+        GF256.set_kernel("reference")
+        try:
+            assert set(GF256.selected_kernels().values()) == {"reference"}
+        finally:
+            GF256.set_kernel(None)
+        assert GF256.selected_kernels() == before
+
+    def test_autotuned_selection_is_valid(self):
+        sel = GF256.selected_kernels()
+        assert set(sel) == {"small", "large"}
+        for name in sel.values():
+            assert name in GF256.available_kernels()
+
+
+class TestKernelStats:
+    def test_matmul_calls_count_each_pass(self):
+        rng = np.random.default_rng(30)
+        mat = rng.integers(0, 256, (2, 3), dtype=np.uint8)
+        shards = rng.integers(0, 256, (3, 2048), dtype=np.uint8)
+        GF256.reset_kernel_stats()
+        GF256.matmul_bytes(mat, shards)
+        GF256.matmul_bytes(mat, shards)
+        assert GF256.KERNEL_STATS["matmul_calls"] == 2
+
+    def test_empty_products_do_not_count(self):
+        GF256.reset_kernel_stats()
+        GF256.matmul_bytes(np.zeros((0, 3), np.uint8), np.zeros((3, 8), np.uint8))
+        GF256.matmul_bytes(np.zeros((2, 3), np.uint8), np.zeros((3, 0), np.uint8))
+        assert GF256.KERNEL_STATS["matmul_calls"] == 0

@@ -284,6 +284,162 @@ class TestXorConstruction:
         assert svc.read_errors == 0
 
 
+def all_erasure_patterns(n, m):
+    """Every way to lose at most m of n shards."""
+    for r in range(m + 1):
+        yield from itertools.combinations(range(n), r)
+
+
+def roundtrip_configs():
+    for k in (1, 3, 6, 10):
+        for m in (0, 1, 3, 4):
+            for construction in ("cauchy", "vandermonde"):
+                yield k, m, construction
+            if m <= 1:
+                yield k, m, "xor"
+
+
+@pytest.mark.parametrize("k,m,construction", list(roundtrip_configs()))
+def test_roundtrip_every_erasure_pattern(k, m, construction):
+    """Exhaustive MDS check: every erasure pattern of size <= m round-trips,
+    and the batch APIs are byte-identical to the per-stripe ones."""
+    rng = np.random.default_rng(1000 * k + 10 * m)
+    code = RSCode(k, m, construction, decode_cache_capacity=2048)
+    data = make_shards(rng, k, 8)
+    parity = code.encode(data)
+    full = {i: s for i, s in enumerate(data + parity)}
+
+    jobs = []
+    for lost in all_erasure_patterns(code.n, m):
+        present = {i: s for i, s in full.items() if i not in lost}
+        rec = code.decode(present)
+        assert all((a == b).all() for a, b in zip(rec, data))
+        jobs.append(present)
+
+    # Batch APIs must agree byte-for-byte with the per-stripe calls.
+    batch_parity = code.encode_batch([data])[0]
+    assert all((a == b).all() for a, b in zip(batch_parity, parity))
+    for rec in code.decode_batch(jobs):
+        assert all((a == b).all() for a, b in zip(rec, data))
+
+
+class TestBatchAPIs:
+    def test_encode_batch_matches_per_stripe(self):
+        rng = np.random.default_rng(40)
+        code = RSCode(4, 2)
+        # Mixed shard lengths force multiple length groups in one batch.
+        stripes = [make_shards(rng, 4, n) for n in (64, 32, 64, 17, 32, 64)]
+        batched = code.encode_batch(stripes)
+        for shards, parity in zip(stripes, batched):
+            ref = code.encode(shards)
+            assert all((a == b).all() for a, b in zip(parity, ref))
+            assert all(p.flags["C_CONTIGUOUS"] for p in parity)
+
+    def test_encode_batch_empty_and_zero_parity(self):
+        code = RSCode(3, 0)
+        assert code.encode_batch([]) == []
+        stripes = [make_shards(np.random.default_rng(41), 3, 8)]
+        assert code.encode_batch(stripes) == [[]]
+
+    def test_encode_batch_validates_each_stripe(self):
+        code = RSCode(3, 1)
+        good = make_shards(np.random.default_rng(42), 3, 8)
+        with pytest.raises(ValueError):
+            code.encode_batch([good, good[:2]])
+
+    def test_decode_batch_matches_per_stripe(self):
+        rng = np.random.default_rng(43)
+        code = RSCode(4, 2)
+        jobs = []
+        refs = []
+        for seed, lost in enumerate([(0,), (1, 3), (), (5,), (1, 3)]):
+            data = make_shards(rng, 4, 24 + seed)
+            parity = code.encode(data)
+            full = {i: s for i, s in enumerate(data + parity)}
+            jobs.append({i: s for i, s in full.items() if i not in lost})
+            refs.append(data)
+        for rec, data in zip(code.decode_batch(jobs), refs):
+            assert all((a == b).all() for a, b in zip(rec, data))
+
+    def test_decode_batch_unrecoverable_raises(self):
+        code = RSCode(3, 1)
+        with pytest.raises(ValueError, match="unrecoverable"):
+            code.decode_batch([{0: np.zeros(4, np.uint8)}])
+
+    def test_encode_objects_batch_matches_per_group(self):
+        rng = np.random.default_rng(44)
+        sc = StripeCodec(3, 2)
+        groups = [
+            [rng.integers(0, 256, n, dtype=np.uint8) for n in sizes]
+            for sizes in [(50, 64, 33), (16, 16, 16), (50, 64, 33)]
+        ]
+        batched = sc.encode_objects_batch(groups)
+        for group, stripe in zip(groups, batched):
+            ref = sc.encode_objects(group)
+            assert stripe.lengths == ref.lengths
+            assert all((a == b).all() for a, b in zip(stripe.shards, ref.shards))
+
+    def test_encode_objects_batch_validates(self):
+        sc = StripeCodec(2, 1)
+        with pytest.raises(ValueError):
+            sc.encode_objects_batch([[np.ones(4, np.uint8)]])
+
+
+class TestDecodeCacheLRU:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RSCode(3, 1, decode_cache_capacity=0)
+
+    def test_cache_stays_bounded_and_evicts(self):
+        rng = np.random.default_rng(50)
+        code = RSCode(4, 4, decode_cache_capacity=4)
+        data = make_shards(rng, 4, 16)
+        parity = code.encode(data)
+        full = {i: s for i, s in enumerate(data + parity)}
+        patterns = list(itertools.combinations(range(code.n), 2))
+        for lost in patterns:  # 28 distinct patterns through a 4-entry cache
+            code.decode({i: s for i, s in full.items() if i not in lost})
+        assert len(code._decode_cache) <= 4
+        assert code.decode_cache_evictions > 0
+        assert code.decode_cache_misses > 4  # more distinct inversions than fit
+
+    def test_hot_pattern_survives_cold_sweep(self):
+        rng = np.random.default_rng(51)
+        code = RSCode(4, 4, decode_cache_capacity=4)
+        data = make_shards(rng, 4, 16)
+        parity = code.encode(data)
+        full = {i: s for i, s in enumerate(data + parity)}
+        hot = {i: s for i, s in full.items() if i not in (1, 2)}
+        code.decode(hot)  # one miss to warm the hot pattern
+        # Each cold loss pair maps to a distinct chosen-survivor set, so
+        # every cold decode below is a genuine miss.
+        cold_patterns = [(0, 1), (0, 2), (0, 3), (1, 3), (2, 3)]
+        for lost in cold_patterns:
+            # Re-touching the hot pattern between cold one-offs keeps it at
+            # the warm end of the LRU, so it must never be re-inverted.
+            code.decode(hot)
+            code.decode({i: s for i, s in full.items() if i not in lost})
+        misses_for_hot = code.decode_cache_misses - len(cold_patterns) - 1
+        assert misses_for_hot == 0
+        assert len(code._decode_cache) <= 4
+
+    def test_warm_decode_cache_builds_misses_only(self):
+        rng = np.random.default_rng(52)
+        code = RSCode(3, 2)
+        data = make_shards(rng, 3, 16)
+        parity = code.encode(data)
+        full = {i: s for i, s in enumerate(data + parity)}
+        survivors = tuple(sorted(i for i in full if i not in (0,)))
+        built = code.warm_decode_cache([survivors, survivors, (0, 1, 2)])
+        assert built == 1  # duplicate and the all-data fast path build nothing
+        code.decode({i: s for i, s in full.items() if i != 0})
+        assert code.decode_cache_hits == 1
+
+    def test_warm_decode_cache_skips_short_patterns(self):
+        code = RSCode(3, 1)
+        assert code.warm_decode_cache([(0, 1)]) == 0
+
+
 class TestDecodeCache:
     def test_cache_hits_on_repeated_pattern(self):
         rng = np.random.default_rng(11)
