@@ -66,7 +66,7 @@ TABLE1_SIM = {
 }
 
 
-def table1_config(seed: int = 1) -> StagingConfig:
+def table1_config(seed: int = 1, tracing: bool = False) -> StagingConfig:
     return StagingConfig(
         n_servers=TABLE1_SIM["staging"],
         domain_shape=TABLE1_SIM["domain"],
@@ -75,6 +75,7 @@ def table1_config(seed: int = 1) -> StagingConfig:
         n_level=TABLE1_SIM["m"],
         k=TABLE1_SIM["k"],
         nodes_per_cabinet=2,
+        tracing=tracing,
         seed=seed,
     )
 
@@ -100,8 +101,36 @@ def make_policy(name: str, seed: int = 11, **kw):
 POLICIES = ("dataspaces", "replicate", "erasure", "hybrid", "corec")
 
 
-def build_service(policy_name: str, seed: int = 1, **policy_kw) -> StagingService:
-    return StagingService(table1_config(seed=seed), make_policy(policy_name, **policy_kw))
+def build_service(
+    policy_name: str, seed: int = 1, tracing: bool = False, **policy_kw
+) -> StagingService:
+    return StagingService(
+        table1_config(seed=seed, tracing=tracing), make_policy(policy_name, **policy_kw)
+    )
+
+
+def export_trace(svc: StagingService, trace_dir: str, process_name: str = "repro-bench") -> dict:
+    """Write a service's trace/metrics artifacts into ``trace_dir``.
+
+    Returns the artifact paths.  Requires the service to have been built
+    with ``tracing=True``.
+    """
+    from repro.obs.export import (
+        write_chrome_trace,
+        write_events_jsonl,
+        write_metrics_json,
+        write_spans_jsonl,
+    )
+
+    os.makedirs(trace_dir, exist_ok=True)
+    return {
+        "chrome_trace": write_chrome_trace(
+            os.path.join(trace_dir, "trace.json"), svc.tracer, process_name=process_name
+        ),
+        "spans": write_spans_jsonl(os.path.join(trace_dir, "spans.jsonl"), svc.tracer),
+        "events": write_events_jsonl(os.path.join(trace_dir, "events.jsonl"), svc.log),
+        "metrics": write_metrics_json(os.path.join(trace_dir, "metrics.json"), svc.metrics),
+    }
 
 
 def run_synthetic(
@@ -111,10 +140,17 @@ def run_synthetic(
     failure_plan: dict | None = None,
     seed: int = 1,
     read_in_write_cases: bool = False,
+    trace_dir: str | None = None,
     **policy_kw,
 ) -> dict:
-    """Run one Table I synthetic case; return a result row."""
-    svc = build_service(policy_name, seed=seed, **policy_kw)
+    """Run one Table I synthetic case; return a result row.
+
+    ``trace_dir`` additionally runs the case with span tracing enabled and
+    drops trace.json / spans.jsonl / events.jsonl / metrics.json there.
+    Tracing adds no simulator events, so the result row is unaffected;
+    golden results are regenerated with tracing off regardless.
+    """
+    svc = build_service(policy_name, seed=seed, tracing=trace_dir is not None, **policy_kw)
     cfg = SyntheticWorkloadConfig(
         case=case,
         n_writers=TABLE1_SIM["writers"],
@@ -126,6 +162,8 @@ def run_synthetic(
     wl = SyntheticWorkload(svc, cfg)
     svc.run_workflow(wl.run())
     svc.run()  # drain background transitions / recovery
+    if trace_dir is not None:
+        export_trace(svc, trace_dir, process_name=f"repro-{case}-{policy_name}")
     m = svc.metrics
     steady_put = (
         float(np.mean(wl.step_put.values[-5:])) if len(wl.step_put) >= 5 else m.put_stat.mean

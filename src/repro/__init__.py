@@ -36,6 +36,7 @@ from repro.core.model import CoRECModel, ModelParams
 from repro.staging.domain import BBox, Domain
 from repro.staging.tiers import StorageTier, TieredStore, default_tiers
 from repro.core.durability import DurabilityParams, group_mttdl, annual_loss_probability
+from repro.obs import MetricsRegistry, Tracer
 
 __all__ = [
     "__version__",
@@ -59,4 +60,6 @@ __all__ = [
     "DurabilityParams",
     "group_mttdl",
     "annual_loss_probability",
+    "MetricsRegistry",
+    "Tracer",
 ]

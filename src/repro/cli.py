@@ -7,9 +7,13 @@ Usage::
     python -m repro model --s 0.67 --miss 0.2
     python -m repro run-case --case case5 --policy corec \
         --fail 4:0 --replace 8:0
+    python -m repro trace --case case1 --policy corec --out traces/
+    python -m repro report --trace traces/spans.jsonl
 
 ``--fail STEP:SERVER`` / ``--replace STEP:SERVER`` inject the paper's
-Figure-10-style failure schedules.
+Figure-10-style failure schedules.  ``trace`` runs with hierarchical span
+tracing enabled and exports Perfetto-loadable ``trace.json`` plus JSONL
+span/event dumps (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -51,7 +55,8 @@ def _parse_plan(fails: list[str], replaces: list[str]) -> dict:
     return plan
 
 
-def cmd_run_case(args: argparse.Namespace) -> int:
+def _build_case(args: argparse.Namespace, tracing: bool = False):
+    """One synthetic Table-I case: service + workload, ready to run."""
     from repro import StagingConfig, StagingService
     from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
 
@@ -62,6 +67,7 @@ def cmd_run_case(args: argparse.Namespace) -> int:
             element_bytes=args.element_bytes,
             object_max_bytes=args.object_bytes,
             async_protection=args.async_protection,
+            tracing=tracing,
             seed=args.seed,
         ),
         _make_policy(args.policy, args.storage_bound, args.seed),
@@ -77,6 +83,11 @@ def cmd_run_case(args: argparse.Namespace) -> int:
             seed=args.seed,
         ),
     )
+    return service, workload
+
+
+def cmd_run_case(args: argparse.Namespace) -> int:
+    service, workload = _build_case(args)
     service.run_workflow(workload.run())
     service.run()
     out = {
@@ -88,6 +99,55 @@ def cmd_run_case(args: argparse.Namespace) -> int:
         "step_get_ms": [v * 1e3 for v in workload.step_get.values],
     }
     _emit(out, args)
+    return 0 if service.read_errors == 0 else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one traced case and export Chrome-trace / JSONL / metrics files."""
+    import os
+
+    from repro.obs.export import (
+        spans_to_breakdown,
+        write_chrome_trace,
+        write_events_jsonl,
+        write_metrics_json,
+        write_spans_jsonl,
+    )
+
+    service, workload = _build_case(args, tracing=True)
+    service.run_workflow(workload.run())
+    service.run()
+    os.makedirs(args.out, exist_ok=True)
+    tracer = service.tracer
+    artifacts = {
+        "chrome_trace": write_chrome_trace(
+            os.path.join(args.out, "trace.json"), tracer,
+            process_name=f"repro-{args.case}-{args.policy}",
+        ),
+        "spans": write_spans_jsonl(os.path.join(args.out, "spans.jsonl"), tracer),
+        "events": write_events_jsonl(os.path.join(args.out, "events.jsonl"), service.log),
+        "metrics": write_metrics_json(os.path.join(args.out, "metrics.json"), service.metrics),
+    }
+    # Cross-check: summed leaf-span costs must reproduce Metrics.breakdown.
+    recon = spans_to_breakdown(tracer.spans)
+    breakdown = service.metrics.breakdown
+    drift = max(
+        (abs(recon.get(c, 0.0) - v) for c, v in breakdown.items()), default=0.0
+    )
+    out = {
+        "case": args.case,
+        "policy": args.policy,
+        "spans": len(tracer.spans),
+        "root_spans": len(tracer.roots()),
+        "events": len(service.log),
+        "breakdown_max_drift_s": drift,
+        "read_errors": service.read_errors,
+        "artifacts": artifacts,
+    }
+    _emit(out, args)
+    if drift > 1e-6:
+        print(f"warning: trace/breakdown drift {drift:.3e}s exceeds 1e-6s", file=sys.stderr)
+        return 1
     return 0 if service.read_errors == 0 else 1
 
 
@@ -157,9 +217,43 @@ def cmd_durability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_trace(path: str, as_json: bool) -> int:
+    """Per-span-name duration summary of a ``spans.jsonl`` dump."""
+    from repro.obs.registry import Histogram
+
+    by_name: dict[str, Histogram] = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            hist = by_name.get(row["name"])
+            if hist is None:
+                hist = by_name[row["name"]] = Histogram(row["name"])
+            hist.observe(float(row["t1"]) - float(row["t0"]))
+    rows = [{"name": name, **hist.snapshot()} for name, hist in by_name.items()]
+    rows.sort(key=lambda r: -r["total"])
+    if as_json:
+        json.dump(rows, sys.stdout, indent=2, default=float)
+        print()
+        return 0
+    header = f"{'span':<22} {'n':>7} {'total_s':>10} {'p50_s':>10} {'p95_s':>10} {'p99_s':>10} {'max_s':>10}"
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print(
+            f"{r['name']:<22} {r['n']:>7} {r['total']:>10.4f} {r['p50']:>10.6f} "
+            f"{r['p95']:>10.6f} {r['p99']:>10.6f} {r['max']:>10.6f}"
+        )
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis import ascii_bars, ascii_series, list_results, load_results
 
+    if args.trace:
+        return _report_trace(args.trace, args.json)
     if args.list:
         for name in list_results(args.results_dir):
             print(name)
@@ -256,6 +350,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_case.add_argument("--element-bytes", type=int, default=1)
     p_case.set_defaults(func=cmd_run_case)
 
+    p_trace = sub.add_parser(
+        "trace", help="run a traced synthetic case and export trace artifacts"
+    )
+    common(p_trace)
+    p_trace.add_argument("--case", default="case1",
+                         choices=["case1", "case2", "case3", "case4", "case5"])
+    p_trace.add_argument("--writers", type=int, default=64)
+    p_trace.add_argument("--readers", type=int, default=32)
+    p_trace.add_argument("--servers", type=int, default=8)
+    p_trace.add_argument("--domain", type=int, nargs=3, default=[64, 64, 64])
+    p_trace.add_argument("--element-bytes", type=int, default=1)
+    p_trace.add_argument("--out", default="trace-out",
+                         help="directory for trace.json / spans.jsonl / events.jsonl / metrics.json")
+    p_trace.set_defaults(func=cmd_trace)
+
     p_s3d = sub.add_parser("run-s3d", help="run the S3D workflow (Table II)")
     common(p_s3d)
     p_s3d.add_argument("--scale", type=int, default=0, choices=[0, 1, 2])
@@ -276,6 +385,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--name", default="")
     p_report.add_argument("--list", action="store_true")
     p_report.add_argument("--results-dir", default=None)
+    p_report.add_argument("--trace", default="",
+                          help="summarize a spans.jsonl dump instead of a stored result")
     p_report.set_defaults(func=cmd_report)
 
     p_model = sub.add_parser("model", help="evaluate the Section II-D model")

@@ -10,13 +10,23 @@ Everything the paper's evaluation reports comes from here:
 - **storage efficiency** (write-efficiency ratio in Figure 8): tracked
   incrementally by :class:`StorageAccountant` so constraint enforcement is
   O(1) per transition instead of a directory scan.
+
+All named metrics live in one :class:`repro.obs.registry.MetricsRegistry`:
+event counters are registry counters (``Metrics.counters`` stays available
+as a read view), put/get response times additionally feed fixed-bucket
+histograms for p50/p95/p99/max tail accounting, and the storage accountant
+publishes byte gauges.  Components with internal counters (codec decode
+caches, coding batches) register gauges into the same registry, replacing
+the old scattered ``Counter`` dicts with one queryable namespace.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Iterable
 
+from repro.obs.registry import MetricsRegistry
 from repro.util.stats import RunningStat, TimeSeries
 
 __all__ = ["Metrics", "StorageAccountant", "BREAKDOWN_CATEGORIES"]
@@ -59,21 +69,44 @@ class StorageAccountant:
         total = orig + self.replica + d_replica + self.parity + d_parity
         return orig / total if total else 1.0
 
+    def register_gauges(self, registry: MetricsRegistry, prefix: str = "storage") -> None:
+        """Publish the byte counts and efficiency as registry gauges."""
+        registry.gauge(f"{prefix}.original_bytes", lambda: self.original)
+        registry.gauge(f"{prefix}.replica_bytes", lambda: self.replica)
+        registry.gauge(f"{prefix}.parity_bytes", lambda: self.parity)
+        registry.gauge(f"{prefix}.efficiency", self.efficiency)
+
 
 class Metrics:
-    """Shared metrics sink for one simulated workflow run."""
+    """Shared metrics sink for one simulated workflow run.
 
-    def __init__(self) -> None:
+    ``extra_categories`` extends the execution-breakdown beyond
+    :data:`BREAKDOWN_CATEGORIES` (e.g. recovery sub-phases); categories can
+    also be added later with :meth:`register_category` — ``add_time`` on an
+    unregistered category stays a hard error so typos don't silently
+    siphon time into nowhere.
+    """
+
+    def __init__(
+        self,
+        extra_categories: Iterable[str] = (),
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.put_stat = RunningStat()
         self.get_stat = RunningStat()
         self.put_series = TimeSeries("put")
         self.get_series = TimeSeries("get")
-        self.breakdown: dict[str, float] = {c: 0.0 for c in BREAKDOWN_CATEGORIES}
-        self.counters: Counter[str] = Counter()
+        self.breakdown: dict[str, float] = {
+            c: 0.0 for c in (*BREAKDOWN_CATEGORIES, *extra_categories)
+        }
         self.storage = StorageAccountant()
+        self.storage.register_gauges(self.registry)
         self.efficiency_series = TimeSeries("efficiency")
         self.step_get_series = TimeSeries("step_get")  # per-timestep means (Fig. 10)
         self.step_put_series = TimeSeries("step_put")
+        self.put_hist = self.registry.histogram("put_response_s")
+        self.get_hist = self.registry.histogram("get_response_s")
 
     # ------------------------------------------------------------------
     def add_time(self, category: str, dt: float) -> None:
@@ -81,16 +114,32 @@ class Metrics:
             raise KeyError(f"unknown breakdown category {category!r}")
         self.breakdown[category] += dt
 
+    def register_category(self, category: str) -> None:
+        """Allow ``add_time`` on a new breakdown category (idempotent)."""
+        self.breakdown.setdefault(category, 0.0)
+
     def count(self, name: str, n: int = 1) -> None:
-        self.counters[name] += n
+        self.registry.counter(name).inc(n)
+
+    @property
+    def counters(self) -> Counter[str]:
+        """Read view of the event counters (legacy ``Counter`` shape).
+
+        Counters live in the registry; this rebuilds the classic mapping
+        in creation order, so ``dict(metrics.counters)`` round-trips
+        byte-identically with pre-registry runs.
+        """
+        return Counter(self.registry.counters())
 
     def record_put(self, t: float, duration: float) -> None:
         self.put_stat.add(duration)
         self.put_series.add(t, duration)
+        self.put_hist.observe(duration)
 
     def record_get(self, t: float, duration: float) -> None:
         self.get_stat.add(duration)
         self.get_series.add(t, duration)
+        self.get_hist.observe(duration)
 
     def sample_efficiency(self, t: float) -> None:
         self.efficiency_series.add(t, self.storage.efficiency())
@@ -117,4 +166,6 @@ class Metrics:
             "write_efficiency": self.write_efficiency(),
             "breakdown": dict(self.breakdown),
             "counters": dict(self.counters),
+            "put_percentiles_s": self.put_hist.percentiles(),
+            "get_percentiles_s": self.get_hist.percentiles(),
         }

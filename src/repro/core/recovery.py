@@ -55,11 +55,46 @@ class RecoveryConfig:
 class RecoveryManager:
     """Schedules repair work in reaction to failures/replacements."""
 
+    #: Breakdown categories for recovery sub-phases (wall-clock per phase).
+    #: Only registered when tracing is on — they are trace-support data and
+    #: must not change the default ``Metrics.breakdown`` shape.
+    PHASE_CATEGORIES = ("recovery_sweep", "recovery_burst", "recovery_rebalance")
+
     def __init__(self, runtime: StagingRuntime, config: RecoveryConfig | None = None):
         self.rt = runtime
         self.config = config or RecoveryConfig()
         self.sweeps_started = 0
         self.sweeps_finished = 0
+        if runtime.tracer.enabled:
+            for cat in self.PHASE_CATEGORIES:
+                runtime.metrics.register_category(cat)
+
+    # ------------------------------------------------------------------
+    # tracing helpers
+    # ------------------------------------------------------------------
+    def _phase(self, name: str, category: str, body: Generator, **attrs) -> Generator:
+        """Wrap a recovery phase in a span that books its wall-clock time.
+
+        With tracing off this is the identity: ``body`` is returned
+        untouched.  With tracing on the phase runs under a ``name`` span and
+        its elapsed time is both booked to the ``category`` breakdown (one
+        of :data:`PHASE_CATEGORIES`) and stamped on the span as ``booked``,
+        so phase spans reconcile with the breakdown like the leaf spans do.
+        """
+        tracer = self.rt.tracer
+        if not tracer.enabled:
+            return body
+        return tracer.traced(name, self._timed(category, body), category=category, **attrs)
+
+    def _timed(self, category: str, body: Generator) -> Generator:
+        t0 = self.rt.sim.now
+        try:
+            result = yield from body
+        finally:
+            dt = self.rt.sim.now - t0
+            self.rt.metrics.add_time(category, dt)
+            self.rt.tracer.annotate(booked=dt)
+        return result
 
     # ------------------------------------------------------------------
     @property
@@ -68,15 +103,33 @@ class RecoveryManager:
 
     def on_server_failed(self, sid: int) -> None:
         if self.config.mode == "aggressive":
-            self.rt.sim.process(self._aggressive_recover(sid), name=f"aggr-recover-{sid}")
+            self.rt.sim.process(
+                self._phase(
+                    "recovery.burst", "recovery_burst", self._aggressive_recover(sid),
+                    server=sid,
+                ),
+                name=f"aggr-recover-{sid}",
+            )
 
     def on_server_replaced(self, sid: int) -> None:
         if self.config.mode == "lazy":
-            self.rt.sim.process(self._lazy_sweep(sid), name=f"lazy-sweep-{sid}")
+            self.rt.sim.process(
+                self._phase(
+                    "recovery.sweep", "recovery_sweep", self._lazy_sweep(sid),
+                    server=sid,
+                ),
+                name=f"lazy-sweep-{sid}",
+            )
         elif self.config.mode == "aggressive":
             # Aggressive already moved primaries to survivors at failure
             # time; the replacement only needs missing replicas/parities.
-            self.rt.sim.process(self._repair_missing_on(sid, delay=0.0), name=f"aggr-refill-{sid}")
+            self.rt.sim.process(
+                self._phase(
+                    "recovery.refill", "recovery_sweep",
+                    self._repair_missing_on(sid, delay=0.0), server=sid,
+                ),
+                name=f"aggr-refill-{sid}",
+            )
         if self.config.mode != "none":
             # Restore failure independence immediately: while a server was
             # down, redirected writes / survivor recovery may have doubled
@@ -84,7 +137,13 @@ class RecoveryManager:
             # the replacement now (a small, bounded transfer set), closing
             # the window in which a second failure could take two shards of
             # one stripe at once.
-            self.rt.sim.process(self._rebalance_onto(sid), name=f"rebalance-{sid}")
+            self.rt.sim.process(
+                self._phase(
+                    "recovery.rebalance", "recovery_rebalance",
+                    self._rebalance_onto(sid), server=sid,
+                ),
+                name=f"rebalance-{sid}",
+            )
 
     # ------------------------------------------------------------------
     # work enumeration
@@ -175,10 +234,26 @@ class RecoveryManager:
         """Run repair generators with bounded parallelism."""
         from repro.sim.engine import AllOf
 
+        tracer = self.rt.tracer
+        # Repair tasks run as sibling processes, outside the phase span's
+        # dynamic scope — anchor each task span to the phase explicitly so
+        # the reconstruct/transfer spans inside parent under the phase.
+        parent = tracer.current if tracer.enabled else None
         width = width or self.config.sweep_parallelism
         for i in range(0, len(tasks), width):
             batch = tasks[i : i + width]
-            procs = [self.rt.sim.process(self._guarded(t)) for t in batch]
+            if parent is not None:
+                procs = [
+                    self.rt.sim.process(
+                        tracer.traced(
+                            "recovery.task", self._guarded(t),
+                            category="recovery", parent=parent,
+                        )
+                    )
+                    for t in batch
+                ]
+            else:
+                procs = [self.rt.sim.process(self._guarded(t)) for t in batch]
             yield AllOf(self.rt.sim, procs)
 
     def _guarded(self, gen) -> Generator:

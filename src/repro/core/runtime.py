@@ -40,6 +40,7 @@ import numpy as np
 from repro.erasure.batch import CodingBatch
 from repro.erasure.gf256 import GF256
 from repro.erasure.reedsolomon import StripeCodec
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 from repro.sim.resources import Resource
@@ -80,6 +81,7 @@ class StagingRuntime:
         metrics: Metrics,
         codec: StripeCodec,
         log: EventLog | None = None,
+        tracer: Tracer | None = None,
     ):
         self.sim = sim
         self.network = network
@@ -89,6 +91,7 @@ class StagingRuntime:
         self.metrics = metrics
         self.codec = codec
         self.log = log or EventLog()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.costs = self.servers[0].costs
         # Batched coding data path: stripe encodes are submitted to the
         # batch and forced when their bytes are needed, so every numeric
@@ -97,7 +100,7 @@ class StagingRuntime:
         # ``batch_coding = False`` (the stripe-at-a-time path) produces
         # bit-identical stripes and identical event traces.
         self.batch_coding = True
-        self.coding_batch = CodingBatch(codec.code)
+        self.coding_batch = CodingBatch(codec.code, tracer=self.tracer)
         # Pending (not yet striped) entities per coding group, keyed by the
         # primary server each entity would contribute a data shard from.
         self.pending: dict[int, dict[int, list[EntityKey]]] = {}
@@ -113,9 +116,25 @@ class StagingRuntime:
     def alive(self, sid: int) -> bool:
         return not self.servers[sid].failed
 
+    # The three ``Metrics.add_time`` call sites below are the *leaf* spans
+    # of the trace: each stamps a ``booked`` attribute with the exact
+    # duration it charged to the breakdown, so summing leaf spans per
+    # category (``repro.obs.export.spans_to_breakdown``) reproduces
+    # ``Metrics.breakdown`` and the trace is provably reconciled with the
+    # aggregate metrics.  All tracing is guarded on ``tracer.enabled`` so
+    # the default (null-tracer) hot path does no extra work.
+
     def transfer(self, src: str, dst: str, nbytes: int, category: str = "transport") -> Generator:
+        tracer = self.tracer
+        span = (
+            tracer.begin("transport", category=category, src=src, dst=dst, nbytes=int(nbytes))
+            if tracer.enabled
+            else None
+        )
         dur = yield from self.network.transfer(src, dst, nbytes)
         self.metrics.add_time(category, dur)
+        if span is not None:
+            tracer.end(span, booked=dur)
         return dur
 
     def busy(self, sid: int, duration: float, category: str, charge_wait: bool = True) -> Generator:
@@ -126,18 +145,35 @@ class StagingRuntime:
         category) — used for micro-operations like classification whose
         reported cost should be the work itself.
         """
+        tracer = self.tracer
+        span = (
+            tracer.begin("cpu", category=category, server=sid, service_s=duration)
+            if tracer.enabled
+            else None
+        )
         dur = yield from self.server(sid).busy(duration)
-        self.metrics.add_time(category, dur if charge_wait else duration)
+        booked = dur if charge_wait else duration
+        self.metrics.add_time(category, booked)
+        if span is not None:
+            tracer.end(span, booked=booked)
         return dur
 
     def metadata_update(self, ent: BlockEntity, from_sid: int) -> Generator:
         """Propagate one metadata mutation to the entity's directory owner."""
         owner = self.directory.owner_of(ent.key)
         if owner != from_sid and self.alive(owner):
+            tracer = self.tracer
+            span = (
+                tracer.begin("metadata.send", category="metadata", src=from_sid, dst=owner)
+                if tracer.enabled
+                else None
+            )
             dur = yield from self.network.send_metadata(
                 self.server(from_sid).name, self.server(owner).name
             )
             self.metrics.add_time("metadata", dur)
+            if span is not None:
+                tracer.end(span, booked=dur)
         if self.alive(owner):
             yield from self.busy(owner, self.costs.metadata_op_s, "metadata")
         self.metrics.count("metadata_updates")
@@ -445,6 +481,25 @@ class StagingRuntime:
         written concurrently with the gather, the stripe is reconciled with
         a parity delta-update right after registration.
         """
+        body = self._form_stripe_body(gid, members, executor)
+        if not self.tracer.enabled:
+            result = yield from body
+            return result
+        result = yield from self.tracer.traced(
+            "stripe.form",
+            body,
+            category="encode",
+            gid=gid,
+            members=sum(1 for e in members if e is not None),
+        )
+        return result
+
+    def _form_stripe_body(
+        self,
+        gid: int,
+        members: Sequence[BlockEntity | None],
+        executor: int | None = None,
+    ) -> Generator:
         k, m = self.layout.k, self.layout.m
         if len(members) != k:
             raise ValueError(f"a stripe needs exactly {k} member slots")
@@ -494,7 +549,15 @@ class StagingRuntime:
             slot_keys.append(e.key)
 
         yield from self.busy(exec_sid, self.costs.encode_cost(k, m, shard_len), "encode")
+        if self.tracer.enabled:
+            calls0 = GF256.KERNEL_STATS["matmul_calls"]
         parities = self._encode_stripe(payloads)
+        if self.tracer.enabled:
+            self.tracer.annotate(
+                executor=exec_sid,
+                shard_len=shard_len,
+                kernel_calls=GF256.KERNEL_STATS["matmul_calls"] - calls0,
+            )
         self.metrics.count("stripe_encodes")
 
         parity_plan: list[tuple[int, int, np.ndarray]] = []
@@ -967,9 +1030,14 @@ class StagingRuntime:
         restores the primary copy if a replacement server is available
         (repair-on-access of the lazy recovery scheme).
         """
-        result = yield from self.with_entity_lock(
-            ent.key, self._read_entity_locked(ent, dst_name, repair)
-        )
+        body = self._read_entity_locked(ent, dst_name, repair)
+        if self.tracer.enabled:
+            # The span starts when the body first runs, i.e. once the
+            # entity lock is held — lock wait is the caller's time.
+            body = self.tracer.traced(
+                "get.fetch", body, category="get", entity=f"{ent.name}/{ent.block_id}"
+            )
+        result = yield from self.with_entity_lock(ent.key, body)
         return result
 
     def _read_entity_locked(self, ent: BlockEntity, dst_name: str, repair: bool) -> Generator:
@@ -1098,6 +1166,26 @@ class StagingRuntime:
 
         Returns ``(payload, exec_sid)`` where payload is the *padded* shard.
         """
+        body = self._reconstruct_body(stripe, target_idx, exec_sid, category)
+        if not self.tracer.enabled:
+            result = yield from body
+            return result
+        result = yield from self.tracer.traced(
+            "reconstruct",
+            body,
+            category=category,
+            stripe=stripe.stripe_id,
+            shard=target_idx,
+        )
+        return result
+
+    def _reconstruct_body(
+        self,
+        stripe: StripeInfo,
+        target_idx: int,
+        exec_sid: int | None = None,
+        category: str = "decode",
+    ) -> Generator:
         avail = self._available_shards(stripe)
         if target_idx in avail:
             holder = avail[target_idx]
@@ -1138,7 +1226,19 @@ class StagingRuntime:
         yield from self.busy(
             exec_sid, self.costs.decode_cost(stripe.k, 1, stripe.shard_len), category
         )
-        payload = self.codec.code.reconstruct_shard(present, target_idx)
+        code = self.codec.code
+        if self.tracer.enabled:
+            hits0, misses0 = code.decode_cache_hits, code.decode_cache_misses
+            calls0 = GF256.KERNEL_STATS["matmul_calls"]
+        payload = code.reconstruct_shard(present, target_idx)
+        if self.tracer.enabled:
+            self.tracer.annotate(
+                executor=exec_sid,
+                gathered=len(chosen),
+                decode_cache_hits=code.decode_cache_hits - hits0,
+                decode_cache_misses=code.decode_cache_misses - misses0,
+                kernel_calls=GF256.KERNEL_STATS["matmul_calls"] - calls0,
+            )
         return payload, exec_sid
 
     def degraded_read(self, ent: BlockEntity, dst_name: str) -> Generator:
@@ -1148,6 +1248,16 @@ class StagingRuntime:
         happens in the read path and the result is *not* re-stored (the
         caller decides about repair).
         """
+        body = self._degraded_read_body(ent, dst_name)
+        if not self.tracer.enabled:
+            result = yield from body
+            return result
+        result = yield from self.tracer.traced(
+            "get.decode", body, category="get", entity=f"{ent.name}/{ent.block_id}"
+        )
+        return result
+
+    def _degraded_read_body(self, ent: BlockEntity, dst_name: str) -> Generator:
         stripe = ent.stripe
         slot = stripe.member_shard_index(ent.key)
         padded, exec_sid = yield from self.reconstruct_shard(stripe, slot)

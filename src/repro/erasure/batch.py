@@ -55,10 +55,16 @@ class PendingEncode:
 
 
 class CodingBatch:
-    """Accumulates encode jobs and flushes them through the batched kernels."""
+    """Accumulates encode jobs and flushes them through the batched kernels.
 
-    def __init__(self, code: "RSCode"):
+    ``tracer`` (any object with ``enabled`` and ``instant``; see
+    :class:`repro.obs.tracer.Tracer`) is optional — when given and enabled,
+    every flush emits a ``coding.flush`` instant span with batch stats.
+    """
+
+    def __init__(self, code: "RSCode", tracer=None):
         self.code = code
+        self.tracer = tracer
         self._pending: list[PendingEncode] = []
         # Stats: how batchy the data path actually ran.
         self.jobs_submitted = 0
@@ -89,4 +95,9 @@ class CodingBatch:
             job._payloads = ()
         self.flushes += 1
         self.largest_flush = max(self.largest_flush, len(jobs))
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.instant(
+                "coding.flush", category="encode_batch",
+                jobs=len(jobs), flushes=self.flushes,
+            )
         return len(jobs)

@@ -1,0 +1,53 @@
+"""Observability: sim-time tracing, unified metrics, exporters.
+
+The staging runtime can explain *where time goes* per operation, not just
+in aggregate:
+
+- :mod:`repro.obs.tracer` — hierarchical spans (``put -> classify ->
+  encode -> transport[shard] -> metadata``, ``get -> locate ->
+  fetch/decode``, ``failure -> detect -> re-protect -> reconstruct``)
+  driven by the simulator clock.  Tracing is off by default: the
+  :data:`NULL_TRACER` singleton makes every instrumentation point a no-op
+  so traced and untraced runs execute the identical simulation.
+- :mod:`repro.obs.registry` — one registry of counters, gauges and
+  fixed-bucket histograms (p50/p95/p99/max) that the metrics layer, the
+  storage accountant and the codec caches publish into.
+- :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (loadable in
+  ``chrome://tracing`` / Perfetto), JSONL span/event dumps, and flat
+  metrics snapshots.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and how to read a
+trace.
+"""
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.export import (
+    chrome_trace,
+    span_rows,
+    span_summary,
+    spans_to_breakdown,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_json,
+    write_spans_jsonl,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "chrome_trace",
+    "span_rows",
+    "span_summary",
+    "spans_to_breakdown",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "write_metrics_json",
+    "write_spans_jsonl",
+]

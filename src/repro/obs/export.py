@@ -1,0 +1,193 @@
+"""Trace and metrics exporters.
+
+Three output shapes:
+
+- **Chrome trace JSON** (:func:`chrome_trace` / :func:`write_chrome_trace`):
+  the ``trace_event`` format that ``chrome://tracing`` and Perfetto load.
+  Spans become complete (``"ph": "X"``) events with microsecond
+  timestamps; zero-duration spans become instants (``"ph": "i"``).
+  Because simulator flows overlap freely, spans are packed onto synthetic
+  "threads" (tids) such that every tid holds a properly nested (laminar)
+  family — Perfetto then renders each tid as a flame chart.  A child is
+  placed on its parent's tid whenever it nests under everything open
+  there, so request trees read top-down.
+- **JSONL dumps** (:func:`write_spans_jsonl` / :func:`write_events_jsonl`):
+  one JSON object per line, for ad-hoc ``jq``/pandas analysis and for the
+  CI schema check.
+- **Metrics snapshot** (:func:`write_metrics_json`): the flat registry
+  snapshot plus the legacy ``Metrics.snapshot()`` dict.
+
+All exporters sort nothing and randomize nothing: output order is span
+id / event order, so deterministic runs export byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Sequence
+
+from repro.obs.registry import Histogram
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "span_rows",
+    "span_summary",
+    "spans_to_breakdown",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "write_metrics_json",
+    "write_spans_jsonl",
+]
+
+_US = 1e6  # trace_event timestamps are microseconds
+
+
+def _assign_tids(spans: Sequence[Span]) -> dict[int, int]:
+    """Pack spans onto tids so each tid's events nest properly.
+
+    Spans arrive in start order.  Each tid keeps a stack of open
+    intervals; a span may join a tid if every open interval on it fully
+    contains the span (flame-chart nesting).  The parent's tid is tried
+    first so trees stay together; overlapping siblings spill onto fresh
+    tids.  Deterministic by construction.
+    """
+    tids: dict[int, int] = {}
+    stacks: list[list[float]] = []  # per-tid stack of open-interval end times
+
+    def fits(stack: list[float], t0: float, t1: float) -> bool:
+        while stack and stack[-1] <= t0:
+            stack.pop()
+        return not stack or stack[-1] >= t1
+
+    for span in spans:
+        t0 = span.t0
+        t1 = span.t1 if span.t1 is not None else span.t0
+        order: list[int] = []
+        if span.parent_id in tids:
+            order.append(tids[span.parent_id])
+        order.extend(i for i in range(len(stacks)) if i not in order)
+        for tid in order:
+            if fits(stacks[tid], t0, t1):
+                stacks[tid].append(t1)
+                tids[span.span_id] = tid
+                break
+        else:
+            stacks.append([t1])
+            tids[span.span_id] = len(stacks) - 1
+    return tids
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro-staging") -> dict[str, Any]:
+    """Render the tracer's spans as a ``trace_event`` JSON object."""
+    spans = tracer.spans
+    tids = _assign_tids(spans)
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        t1 = span.t1 if span.t1 is not None else span.t0
+        args = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attrs)
+        common = {
+            "name": span.name,
+            "cat": span.category or "span",
+            "pid": 1,
+            "tid": tids[span.span_id],
+            "ts": span.t0 * _US,
+            "args": args,
+        }
+        if t1 > span.t0:
+            events.append({**common, "ph": "X", "dur": (t1 - span.t0) * _US})
+        else:
+            events.append({**common, "ph": "i", "s": "t"})
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated seconds", "spans": len(spans)},
+    }
+
+
+def span_rows(tracer: Tracer) -> list[dict[str, Any]]:
+    """Spans as plain dicts, in span-id order (the JSONL payload)."""
+    return [span.to_dict() for span in tracer.spans]
+
+
+def spans_to_breakdown(spans: Iterable[Span]) -> dict[str, float]:
+    """Sum the ``booked`` cost attribute of leaf spans per category.
+
+    Leaf instrumentation (``transfer`` / ``busy`` / ``metadata_update``)
+    stamps each span with the exact duration it charged to
+    ``Metrics.breakdown``; summing those in span order reproduces the
+    breakdown, which the integration tests use to prove the trace and the
+    aggregate metrics agree.
+    """
+    out: dict[str, float] = {}
+    for span in spans:
+        booked = span.attrs.get("booked")
+        if booked is None or not span.category:
+            continue
+        out[span.category] = out.get(span.category, 0.0) + booked
+    return out
+
+
+def span_summary(tracer: Tracer) -> list[dict[str, Any]]:
+    """Per-span-name duration summary (count, total, p50/p95/p99/max)."""
+    by_name: dict[str, Histogram] = {}
+    for span in tracer.spans:
+        hist = by_name.get(span.name)
+        if hist is None:
+            hist = by_name[span.name] = Histogram(span.name)
+        hist.observe(span.duration)
+    return [
+        {"name": name, **hist.snapshot()} for name, hist in by_name.items()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# file writers
+# ---------------------------------------------------------------------------
+
+def write_chrome_trace(path: str, tracer: Tracer, process_name: str = "repro-staging") -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(tracer, process_name), fh, indent=1, default=float)
+        fh.write("\n")
+    return path
+
+
+def write_spans_jsonl(path: str, tracer: Tracer) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in span_rows(tracer):
+            fh.write(json.dumps(row, default=float) + "\n")
+    return path
+
+
+def write_events_jsonl(path: str, log) -> str:
+    """Dump an :class:`repro.util.eventlog.EventLog` as JSONL."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for ev in log:
+            fh.write(
+                json.dumps(
+                    {"t": ev.t, "kind": ev.kind, "source": ev.source, "data": ev.data},
+                    default=float,
+                )
+                + "\n"
+            )
+    return path
+
+
+def write_metrics_json(path: str, metrics) -> str:
+    """Write ``Metrics.snapshot()`` + the registry snapshot to one file."""
+    payload = {"summary": metrics.snapshot(), "registry": metrics.registry.snapshot()}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=float)
+        fh.write("\n")
+    return path

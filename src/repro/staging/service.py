@@ -24,6 +24,7 @@ from repro.core.partition import choose_block_shape
 from repro.core.placement import GroupLayout
 from repro.core.runtime import DataLossError, StagingRuntime, primary_key
 from repro.erasure.reedsolomon import StripeCodec
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.cluster import Cluster
 from repro.sim.engine import AllOf, Simulator
 from repro.sim.network import Network, NetworkConfig
@@ -71,6 +72,10 @@ class StagingConfig:
     # :class:`repro.staging.tiers.StorageTier`) — the paper's future-work
     # extension: redundancy placed on capacity tiers, live data in DRAM.
     tiers: tuple = ()
+    # Hierarchical span tracing (see docs/OBSERVABILITY.md).  Off by
+    # default: the null tracer adds no simulator events and no per-request
+    # work, and golden benchmark outputs are byte-identical either way.
+    tracing: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -90,6 +95,7 @@ class StagingService:
         self.streams = RngStreams(config.seed)
         self.log = EventLog()
         self.metrics = Metrics()
+        self.tracer = Tracer(lambda: self.sim.now) if config.tracing else NULL_TRACER
 
         self.cluster = Cluster(
             n_servers=config.n_servers,
@@ -127,11 +133,33 @@ class StagingService:
             metrics=self.metrics,
             codec=self.codec,
             log=self.log,
+            tracer=self.tracer,
         )
         policy.attach(self.runtime)
+        self._register_component_gauges()
         self.step = 0
         self.read_errors = 0
         self._protect_procs: list = []
+
+    def _register_component_gauges(self) -> None:
+        """Publish component-internal counters into the metrics registry.
+
+        The decode-matrix cache, the coding batch and the event log keep
+        plain-int counters for zero-overhead updates; registering callback
+        gauges gives them one queryable namespace without changing the hot
+        paths.
+        """
+        reg = self.metrics.registry
+        code = self.codec.code
+        reg.gauge("rs.decode_cache.hits", lambda: code.decode_cache_hits)
+        reg.gauge("rs.decode_cache.misses", lambda: code.decode_cache_misses)
+        reg.gauge("rs.decode_cache.evictions", lambda: code.decode_cache_evictions)
+        batch = self.runtime.coding_batch
+        reg.gauge("coding_batch.jobs_submitted", lambda: batch.jobs_submitted)
+        reg.gauge("coding_batch.flushes", lambda: batch.flushes)
+        reg.gauge("coding_batch.largest_flush", lambda: batch.largest_flush)
+        reg.gauge("eventlog.len", lambda: len(self.log))
+        reg.gauge("eventlog.dropped", lambda: self.log.dropped)
 
     # ------------------------------------------------------------------
     # synthetic payloads
@@ -203,13 +231,28 @@ class StagingService:
         block_ids = self.domain.blocks_overlapping(region)
         if not block_ids:
             raise ValueError(f"region {region} outside the staged domain")
+        tracer = self.tracer
+        # Block flows run as sibling processes outside this generator's
+        # dynamic scope, so the root span is passed as an explicit parent.
+        root = tracer.begin(
+            "put", category="request", client=client_name, var=name, blocks=len(block_ids)
+        )
         procs = [
-            self.sim.process(self._put_block(client_name, name, bid, region, data))
+            self.sim.process(
+                tracer.traced(
+                    "put.block",
+                    self._put_block(client_name, name, bid, region, data),
+                    category="request",
+                    parent=root,
+                    block=bid,
+                )
+            )
             for bid in block_ids
         ]
         yield AllOf(self.sim, procs)
         duration = self.sim.now - t0
         self.metrics.record_put(t0, duration)
+        tracer.end(root, duration_s=duration)
         return duration
 
     def _put_block(
@@ -235,9 +278,16 @@ class StagingService:
             # in the background (serialized by the entity lock, so a later
             # write cannot overtake this one's protection).
             yield from self.runtime.ingest_primary(ent, client_name, payload)
+            body = self._background_protect(ent, payload, self.step, is_new)
+            if self.tracer.enabled:
+                # The protect process outlives the put; anchor its span to
+                # the spawning put.block span explicitly.
+                body = self.tracer.traced(
+                    "protect.async", body, category="protect",
+                    parent=self.tracer.current, entity=f"{ent.name}/{ent.block_id}",
+                )
             proc = self.sim.process(
-                self._background_protect(ent, payload, self.step, is_new),
-                name=f"protect-{ent.name}-{ent.block_id}",
+                body, name=f"protect-{ent.name}-{ent.block_id}"
             )
             self._protect_procs.append(proc)
         else:
@@ -272,14 +322,27 @@ class StagingService:
         block_ids = self.domain.blocks_overlapping(region)
         if not block_ids:
             raise ValueError(f"region {region} outside the staged domain")
+        tracer = self.tracer
+        root = tracer.begin(
+            "get", category="request", client=client_name, var=name, blocks=len(block_ids)
+        )
         procs = [
-            self.sim.process(self._get_block(client_name, name, bid, verify))
+            self.sim.process(
+                tracer.traced(
+                    "get.block",
+                    self._get_block(client_name, name, bid, verify),
+                    category="request",
+                    parent=root,
+                    block=bid,
+                )
+            )
             for bid in block_ids
         ]
         done = AllOf(self.sim, procs)
         yield done
         duration = self.sim.now - t0
         self.metrics.record_get(t0, duration)
+        tracer.end(root, duration_s=duration)
         payloads = {bid: proc.value for bid, proc in zip(block_ids, procs)}
         return duration, payloads
 
@@ -287,6 +350,13 @@ class StagingService:
         ent = self.directory.get(name, block_id)
         if ent is None or ent.version < 0:
             raise KeyError(f"{name}/{block_id} has never been staged")
+        if self.tracer.enabled:
+            # Directory lookups are host-side (no simulated cost); mark the
+            # location decision as an instant so reads show locate → fetch.
+            self.tracer.instant(
+                "get.locate", category="request",
+                entity=f"{name}/{block_id}", primary=ent.primary, state=ent.state.name,
+            )
         payload = yield from self.runtime.read_entity(
             ent, client_name, repair=self.policy.repair_on_access
         )
@@ -335,11 +405,13 @@ class StagingService:
     def fail_server(self, sid: int) -> None:
         self.servers[sid].fail()
         self.log.emit(self.sim.now, "server_failed", source=f"s{sid}", server=sid)
+        self.tracer.instant("failure.detect", category="failure", server=sid)
         self.policy.on_server_failed(sid)
 
     def replace_server(self, sid: int) -> None:
         self.servers[sid].replace()
         self.log.emit(self.sim.now, "server_replaced", source=f"s{sid}", server=sid)
+        self.tracer.instant("failure.replace", category="failure", server=sid)
         self.policy.on_server_replaced(sid)
 
     def _ensure_writable_primary(self, ent: BlockEntity) -> None:

@@ -4,10 +4,20 @@ Every notable simulator occurrence (request served, object encoded, server
 failed, recovery completed, ...) is appended as an :class:`Event`.  Benchmarks
 and tests query the log instead of scraping printed output, which keeps the
 whole pipeline machine-checkable.
+
+Capacity semantics
+------------------
+An unbounded log (``capacity=None``, the default) keeps everything.  A
+bounded log is a **ring buffer**: once ``capacity`` events are held, each
+new event evicts the *oldest* one, so the log always contains the most
+recent ``capacity`` events.  Evictions are counted in :attr:`EventLog.dropped`
+(so monitoring can tell a quiet run from a truncated one), and listeners
+are notified of every event regardless of capacity.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
@@ -38,17 +48,29 @@ class Event:
 
 
 class EventLog:
-    """Append-only event log with filtered iteration helpers."""
+    """Append-only event log with filtered iteration helpers.
+
+    With a ``capacity``, the log is a ring buffer that drops the oldest
+    events (see module docstring); :attr:`dropped` counts the evictions.
+    """
 
     def __init__(self, capacity: int | None = None):
-        self._events: list[Event] = []
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self._events: deque[Event] = deque(maxlen=capacity)
         self._capacity = capacity
         self._listeners: list[Callable[[Event], None]] = []
+        self.dropped = 0
+
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
 
     def emit(self, t: float, kind: str, source: str = "", **data: Any) -> Event:
         ev = Event(t=float(t), kind=kind, source=source, data=data)
-        if self._capacity is None or len(self._events) < self._capacity:
-            self._events.append(ev)
+        if self._capacity is not None and len(self._events) == self._capacity:
+            self.dropped += 1  # deque(maxlen=...) evicts the oldest entry
+        self._events.append(ev)
         for listener in self._listeners:
             listener(ev)
         return ev

@@ -30,6 +30,26 @@ class TestStorageAccountant:
     def test_overhead_ratio_empty(self):
         assert StorageAccountant().overhead_ratio() == 0.0
 
+    def test_would_be_efficiency_no_originals(self):
+        # an empty accountant projecting zero deltas stays at the 1.0 convention
+        assert StorageAccountant().would_be_efficiency() == 1.0
+        # redundancy with no originals: efficiency collapses to 0
+        assert StorageAccountant().would_be_efficiency(d_replica=100) == 0.0
+
+    def test_register_gauges(self):
+        from repro.obs.registry import MetricsRegistry
+
+        acc = StorageAccountant(original=100, replica=50)
+        reg = MetricsRegistry()
+        acc.register_gauges(reg)
+        snap = reg.snapshot()
+        assert snap["storage.original_bytes"] == 100
+        assert snap["storage.replica_bytes"] == 50
+        assert snap["storage.efficiency"] == pytest.approx(100 / 150)
+        # gauges are live, not snapshots at registration time
+        acc.parity = 50
+        assert reg.snapshot()["storage.parity_bytes"] == 50
+
 
 class TestMetrics:
     def test_breakdown_categories_initialized(self):
@@ -85,3 +105,59 @@ class TestMetrics:
         m.storage.replica = 100
         m.sample_efficiency(2.0)
         assert m.efficiency_series.values == [1.0, 0.5]
+
+    def test_extra_categories(self):
+        m = Metrics(extra_categories=("recovery_sweep", "recovery_burst"))
+        m.add_time("recovery_sweep", 2.0)
+        assert m.breakdown["recovery_sweep"] == 2.0
+        # base categories come first, extras append — dict shape is stable
+        assert list(m.breakdown)[: len(BREAKDOWN_CATEGORIES)] == list(BREAKDOWN_CATEGORIES)
+
+    def test_register_category_idempotent(self):
+        m = Metrics()
+        with pytest.raises(KeyError):
+            m.add_time("recovery_rebalance", 1.0)
+        m.register_category("recovery_rebalance")
+        m.add_time("recovery_rebalance", 1.0)
+        m.register_category("recovery_rebalance")  # re-register keeps the tally
+        assert m.breakdown["recovery_rebalance"] == 1.0
+
+    def test_default_breakdown_shape_unchanged(self):
+        # golden benchmark JSONs depend on exactly these keys by default
+        assert tuple(Metrics().breakdown) == BREAKDOWN_CATEGORIES
+
+    def test_snapshot_percentile_keys(self):
+        m = Metrics()
+        for i in range(100):
+            m.record_put(float(i), 0.01 * (i + 1))
+        snap = m.snapshot()
+        pct = snap["put_percentiles_s"]
+        assert set(pct) == {"p50", "p95", "p99", "max"}
+        assert pct["max"] == pytest.approx(1.0)
+        assert pct["p50"] <= pct["p95"] <= pct["p99"] <= pct["max"]
+        # no gets recorded: percentile dict is present but empty-safe
+        gpct = snap["get_percentiles_s"]
+        assert gpct["max"] == 0.0
+
+    def test_empty_snapshot(self):
+        snap = Metrics().snapshot()
+        assert snap["put_n"] == 0
+        assert snap["storage_efficiency"] == 1.0
+        assert snap["counters"] == {}
+
+    def test_counters_creation_order(self):
+        m = Metrics()
+        for name in ("zeta", "alpha", "mid"):
+            m.count(name)
+        m.count("zeta")
+        assert list(m.counters) == ["zeta", "alpha", "mid"]
+        assert dict(m.counters) == {"zeta": 2, "alpha": 1, "mid": 1}
+
+    def test_shared_registry(self):
+        from repro.obs.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        m = Metrics(registry=reg)
+        m.count("encodes", 3)
+        assert reg.counter("encodes").value == 3
+        assert reg.histogram("put_response_s") is m.put_hist

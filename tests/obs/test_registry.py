@@ -1,0 +1,157 @@
+"""Tests for counters, gauges, fixed-bucket histograms and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, latency_edges
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5 and c.snapshot() == 5
+
+
+class TestGauge:
+    def test_set_backed(self):
+        g = Gauge("x")
+        assert g.value == 0
+        g.set(7)
+        assert g.value == 7 and g.snapshot() == 7
+
+    def test_callback_backed(self):
+        box = {"v": 1}
+        g = Gauge("x", lambda: box["v"])
+        box["v"] = 9
+        assert g.value == 9
+
+    def test_set_on_callback_gauge_raises(self):
+        g = Gauge("x", lambda: 1)
+        with pytest.raises(RuntimeError):
+            g.set(2)
+
+
+class TestLatencyEdges:
+    def test_span_and_monotonicity(self):
+        edges = latency_edges()
+        assert edges[0] == 1e-6 and edges[-1] == 1e3
+        assert all(b > a for a, b in zip(edges, edges[1:]))
+        # 9 decades at 9 buckets/decade
+        assert len(edges) == 9 * 9 + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            latency_edges(lo=1.0, hi=1.0)
+        with pytest.raises(ValueError):
+            latency_edges(lo=0.0, hi=1.0)
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram("x")
+        assert h.n == 0 and h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        snap = h.snapshot()
+        assert snap["min"] == 0.0 and snap["total"] == 0.0
+
+    def test_exact_extremes(self):
+        h = Histogram("x")
+        for v in (0.003, 0.5, 12.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.003
+        assert h.quantile(1.0) == 12.0
+        assert h.min == 0.003 and h.max == 12.0
+        assert h.mean == pytest.approx((0.003 + 0.5 + 12.0) / 3)
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("x").quantile(1.5)
+
+    def test_under_and_overflow(self):
+        h = Histogram("x", edges=[1.0, 10.0])
+        h.observe(0.1)   # underflow
+        h.observe(5.0)
+        h.observe(100.0)  # overflow
+        assert h.counts == [1, 1, 1]
+        # interpolated quantiles stay clamped to observed extremes
+        assert 0.1 <= h.quantile(0.01) <= 100.0
+        assert h.quantile(0.99) <= 100.0
+
+    def test_edge_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("x", edges=[1.0])
+        with pytest.raises(ValueError):
+            Histogram("x", edges=[1.0, 1.0])
+
+    def test_percentiles_vs_numpy(self):
+        """Bucket-interpolated percentiles land within one bucket of exact.
+
+        At 9 buckets/decade a bucket spans a factor of 10^(1/9) ≈ 1.29, so
+        the interpolated estimate must be within ~±30% of numpy's exact
+        sample percentile for a smooth log-spread sample.
+        """
+        rng = np.random.default_rng(7)
+        samples = 10 ** rng.uniform(-4, 1, size=5000)  # 100 µs .. 10 s spread
+        h = Histogram("x")
+        for s in samples:
+            h.observe(float(s))
+        ratio = 10 ** (1 / 9)
+        for q in (0.50, 0.95, 0.99):
+            exact = float(np.quantile(samples, q))
+            est = h.quantile(q)
+            assert exact / ratio <= est <= exact * ratio, (q, exact, est)
+        assert h.percentiles()["max"] == pytest.approx(float(samples.max()))
+
+    def test_constant_samples(self):
+        h = Histogram("x")
+        for _ in range(50):
+            h.observe(0.25)
+        for q in (0.5, 0.95, 0.99):
+            assert h.quantile(q) == pytest.approx(0.25, rel=1e-9)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        c = reg.counter("puts")
+        assert reg.counter("puts") is c
+        assert "puts" in reg and len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_gauge_late_binding(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")  # pre-registered without a callback
+        assert g.value == 0
+        reg.gauge("g", lambda: 42)
+        assert g.value == 42
+
+    def test_counters_view_creation_order(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("g", lambda: 1)
+        reg.counter("a")
+        assert reg.counters() == {"b": 0, "a": 0}
+        assert list(reg.counters()) == ["b", "a"]
+
+    def test_snapshot_flat(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g", lambda: 3)
+        reg.histogram("h").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["c"] == 2 and snap["g"] == 3
+        assert snap["h"]["n"] == 1
+        assert reg.names() == ["c", "g", "h"]
+
+    def test_get_missing(self):
+        assert MetricsRegistry().get("nope") is None

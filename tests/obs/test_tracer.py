@@ -1,0 +1,246 @@
+"""Tests for the hierarchical sim-time tracer."""
+
+import pytest
+
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock)
+
+
+class TestSpanBasics:
+    def test_begin_end(self, tracer, clock):
+        span = tracer.begin("work", category="encode", stripe=3)
+        clock.t = 2.5
+        tracer.end(span, booked=2.5)
+        assert span.t0 == 0.0 and span.t1 == 2.5
+        assert span.duration == 2.5
+        assert span.attrs == {"stripe": 3, "booked": 2.5}
+
+    def test_ids_in_start_order(self, tracer):
+        a = tracer.begin("a")
+        b = tracer.begin("b")
+        assert (a.span_id, b.span_id) == (1, 2)
+        assert tracer.spans == [a, b]
+
+    def test_open_span_duration_zero(self, tracer, clock):
+        span = tracer.begin("open")
+        clock.t = 5.0
+        assert span.t1 is None and span.duration == 0.0
+        assert span.to_dict()["t1"] == span.t0  # open spans export t1=t0
+
+    def test_instant(self, tracer, clock):
+        clock.t = 1.0
+        span = tracer.instant("failure.detect", category="failure", server=2)
+        assert span.t0 == span.t1 == 1.0
+
+    def test_explicit_parent_beats_current(self, tracer):
+        root = tracer.begin("root")
+        other = tracer.begin("other")
+        child = tracer.begin("child", parent=root)
+        assert child.parent_id == root.span_id
+        assert other.parent_id is None  # begin outside traced() scope: no parent
+
+    def test_tree_helpers(self, tracer):
+        root = tracer.begin("root")
+        a = tracer.begin("a", parent=root)
+        b = tracer.begin("b", parent=root)
+        leaf = tracer.begin("a", parent=a)
+        assert tracer.roots() == [root]
+        assert tracer.children(root) == [a, b]
+        assert tracer.find("a") == [a, leaf]
+        assert [s.span_id for s in tracer.iter_tree(root)] == [1, 2, 4, 3]
+
+    def test_clear(self, tracer):
+        tracer.begin("x")
+        tracer.clear()
+        assert tracer.spans == [] and tracer.current is None
+        assert tracer.begin("y").span_id == 1
+
+
+class TestTracedScoping:
+    def test_traced_drives_and_returns_value(self, tracer, clock):
+        def flow():
+            yield "a"
+            clock.t = 3.0
+            return 42
+
+        gen = tracer.traced("flow", flow(), category="request")
+        assert next(gen) == "a"
+        with pytest.raises(StopIteration) as exc:
+            gen.send(None)
+        assert exc.value.value == 42
+        (span,) = tracer.spans
+        assert span.name == "flow" and span.t0 == 0.0 and span.t1 == 3.0
+
+    def test_current_only_inside_flow(self, tracer):
+        observed = []
+
+        def flow():
+            observed.append(tracer.current.name)
+            yield
+            observed.append(tracer.current.name)
+
+        gen = tracer.traced("flow", flow())
+        next(gen)
+        assert tracer.current is None  # suspended: scope restored
+        with pytest.raises(StopIteration):
+            gen.send(None)
+        assert observed == ["flow", "flow"]
+
+    def test_nested_traced_parents(self, tracer):
+        def inner():
+            yield
+            return "ok"
+
+        def outer():
+            result = yield from tracer.traced("inner", inner())
+            return result
+
+        gen = tracer.traced("outer", outer())
+        for _ in gen:
+            pass
+        outer_span, inner_span = tracer.spans
+        assert inner_span.parent_id == outer_span.span_id
+
+    def test_interleaved_flows_do_not_leak_scope(self, tracer):
+        """Two concurrently driven flows each see only their own span."""
+        seen = {"a": [], "b": []}
+
+        def flow(key):
+            for _ in range(3):
+                seen[key].append(tracer.current.name)
+                yield
+
+        ga = tracer.traced("a", flow("a"))
+        gb = tracer.traced("b", flow("b"))
+        # round-robin drive, like the simulator event loop interleaves
+        for gen in (ga, gb, ga, gb, ga, gb):
+            next(gen)
+        assert seen == {"a": ["a", "a", "a"], "b": ["b", "b", "b"]}
+
+    def test_explicit_parent_for_spawned_process(self, tracer):
+        def child_flow():
+            yield
+
+        root = tracer.begin("put")
+        tracer.end(root)
+        # child starts later, outside any dynamic scope — parent is pinned
+        gen = tracer.traced("put.block", child_flow(), parent=root)
+        next(gen)
+        assert tracer.spans[-1].parent_id == root.span_id
+
+    def test_exception_closes_span(self, tracer, clock):
+        def flow():
+            yield
+            raise RuntimeError("boom")
+
+        gen = tracer.traced("flow", flow())
+        next(gen)
+        clock.t = 1.0
+        with pytest.raises(RuntimeError):
+            gen.send(None)
+        (span,) = tracer.spans
+        assert span.t1 == 1.0
+        assert tracer.current is None
+
+    def test_generator_close_closes_span(self, tracer, clock):
+        def flow():
+            yield
+            yield
+
+        gen = tracer.traced("flow", flow())
+        next(gen)
+        clock.t = 2.0
+        gen.close()  # simulator interrupting a process
+        (span,) = tracer.spans
+        assert span.t1 == 2.0
+
+    def test_throw_forwarded_into_flow(self, tracer):
+        caught = []
+
+        def flow():
+            try:
+                yield
+            except ValueError as exc:
+                caught.append(exc)
+            yield
+            return "recovered"
+
+        gen = tracer.traced("flow", flow())
+        next(gen)
+        gen.throw(ValueError("injected"))
+        with pytest.raises(StopIteration) as exc:
+            gen.send(None)
+        assert exc.value.value == "recovered"
+        assert len(caught) == 1
+
+    def test_annotate_hits_current_span(self, tracer):
+        def flow():
+            tracer.annotate(kernel_calls=4)
+            yield
+
+        gen = tracer.traced("flow", flow())
+        next(gen)
+        assert tracer.spans[0].attrs["kernel_calls"] == 4
+
+    def test_annotate_noop_at_top_level(self, tracer):
+        tracer.annotate(x=1)  # no current span: silently ignored
+        assert tracer.spans == []
+
+
+class TestNullTracer:
+    def test_traced_returns_generator_unchanged(self):
+        def flow():
+            yield
+
+        gen = flow()
+        assert NULL_TRACER.traced("x", gen) is gen
+
+    def test_noop_surface(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.begin("x", anything=1) is NULL_SPAN
+        assert NULL_TRACER.instant("x") is NULL_SPAN
+        assert NULL_TRACER.end(NULL_SPAN) is NULL_SPAN
+        NULL_TRACER.annotate(x=1)
+        NULL_TRACER.clear()
+        assert NULL_TRACER.spans == [] and NULL_TRACER.current is None
+        assert NULL_TRACER.roots() == [] and NULL_TRACER.find("x") == []
+
+    def test_null_span_is_inert(self):
+        assert NULL_SPAN.set(a=1) is NULL_SPAN
+        assert NULL_SPAN.attrs == {}
+        assert NULL_SPAN.duration == 0.0
+
+    def test_fresh_instances_share_nothing_mutable(self):
+        assert NullTracer().spans is NULL_TRACER.spans == []
+
+
+class TestSpanExportShape:
+    def test_to_dict_keys(self):
+        span = Span(span_id=7, parent_id=3, name="n", category="c", t0=1.0, attrs={"k": 1})
+        span.t1 = 2.0
+        assert span.to_dict() == {
+            "span_id": 7,
+            "parent_id": 3,
+            "name": "n",
+            "category": "c",
+            "t0": 1.0,
+            "t1": 2.0,
+            "attrs": {"k": 1},
+        }

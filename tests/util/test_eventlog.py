@@ -52,6 +52,34 @@ class TestEventLog:
             log.emit(i, "x")
         assert len(log) == 2
 
+    def test_ring_keeps_newest(self):
+        """A bounded log is a ring buffer: oldest events drop first."""
+        log = EventLog(capacity=3)
+        for i in range(7):
+            log.emit(float(i), "x", seq=i)
+        assert [e.t for e in log] == [4.0, 5.0, 6.0]
+        assert log.dropped == 4
+
+    def test_dropped_counter_stays_zero_under_capacity(self):
+        log = EventLog(capacity=10)
+        for i in range(10):
+            log.emit(i, "x")
+        assert log.dropped == 0
+        log.emit(10, "x")
+        assert log.dropped == 1
+
+    def test_unbounded_never_drops(self):
+        log = EventLog()
+        for i in range(1000):
+            log.emit(i, "x")
+        assert len(log) == 1000 and log.dropped == 0
+        assert log.capacity is None
+
+    def test_capacity_property_and_validation(self):
+        assert EventLog(capacity=5).capacity == 5
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
     def test_subscribe_listener(self):
         log = EventLog()
         seen = []
