@@ -1,0 +1,23 @@
+"""Chaos engineering for the staging stack (see docs/FAULT_INJECTION.md).
+
+Randomized fault campaigns drive the full service — puts, gets, encodes,
+recoveries — while the :mod:`repro.chaos.invariants` checkers audit the
+system after every injected failure/replacement and again at quiescence.
+Campaigns are seed-reproducible; a failing campaign shrinks its failure
+schedule to a minimal reproducer and dumps trace artifacts.
+"""
+
+from repro.chaos.campaign import CampaignResult, ChaosConfig, FailureUnit, run_campaign
+from repro.chaos.invariants import INVARIANTS, ONLINE, QUIESCENT, Violation, run_invariants
+
+__all__ = [
+    "CampaignResult",
+    "ChaosConfig",
+    "FailureUnit",
+    "run_campaign",
+    "INVARIANTS",
+    "ONLINE",
+    "QUIESCENT",
+    "Violation",
+    "run_invariants",
+]

@@ -287,6 +287,40 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run seed-reproducible fault campaigns with invariant checking.
+
+    Exit status: 0 when every campaign passed, 1 when any invariant was
+    violated (the failing campaign's schedule is shrunk and, with --out,
+    its trace artifacts are dumped).
+    """
+    from repro.chaos import ChaosConfig, run_campaign
+
+    modes = ["scheduled", "stochastic", "cabinet"] if args.mode == "all" else [args.mode]
+    results = []
+    failed = False
+    for mode in modes:
+        for i in range(args.campaigns):
+            cfg = ChaosConfig(
+                mode=mode,
+                policy=args.policy,
+                seed=args.seed + i,
+                n_servers=args.servers,
+                timesteps=args.timesteps,
+                object_bytes=args.object_bytes,
+                n_failures=args.failures,
+                storage_bound=args.storage_bound,
+                shrink=not args.no_shrink,
+                out_dir=args.out,
+            )
+            result = run_campaign(cfg)
+            results.append({"policy": args.policy, **result.summary()})
+            if not result.passed:
+                failed = True
+    _emit({"campaigns": results} if len(results) > 1 else results[0], args)
+    return 1 if failed else 0
+
+
 def cmd_model(args: argparse.Namespace) -> int:
     from repro.core.model import CoRECModel, ModelParams
 
@@ -388,6 +422,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--trace", default="",
                           help="summarize a spans.jsonl dump instead of a stored result")
     p_report.set_defaults(func=cmd_report)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run fault campaigns with invariant checking"
+    )
+    p_chaos.add_argument("--mode", default="all",
+                         choices=["scheduled", "stochastic", "cabinet", "all"])
+    p_chaos.add_argument("--policy", default="corec",
+                         choices=["replicate", "erasure", "hybrid", "corec"])
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--campaigns", type=int, default=1,
+                         help="campaigns per mode (seeds seed..seed+N-1)")
+    p_chaos.add_argument("--servers", type=int, default=8)
+    p_chaos.add_argument("--timesteps", type=int, default=4)
+    p_chaos.add_argument("--object-bytes", type=int, default=4096)
+    p_chaos.add_argument("--failures", type=int, default=3)
+    p_chaos.add_argument("--storage-bound", type=float, default=0.67)
+    p_chaos.add_argument("--no-shrink", action="store_true",
+                         help="skip minimizing a failing schedule")
+    p_chaos.add_argument("--out", default=None,
+                         help="directory for trace/schedule dumps of a failing campaign")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_model = sub.add_parser("model", help="evaluate the Section II-D model")
     p_model.add_argument("--s", type=float, default=0.67)

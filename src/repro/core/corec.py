@@ -102,7 +102,12 @@ class CoRECPolicy(ResiliencePolicy):
             yield from self._refresh_replicated(ent, client_name, payload)
         elif ent.state == ResilienceState.PENDING_STRIPE:
             yield from rt.ingest_primary(ent, client_name, payload)
-            if ent.replicas:
+            if ent.state == ResilienceState.ENCODED:
+                # An encoder raced the ingest: the stripe snapshot predates
+                # this write and the replica copies are gone — fold the new
+                # bytes into the parity or they are protected nowhere.
+                yield from rt.reconcile_encoded_member(ent)
+            elif ent.replicas:
                 # Still protected by its pre-demotion copies: keep them fresh.
                 yield from rt.refresh_replica_copies(ent, payload)
         else:  # ENCODED: a classifier miss — cold data got written.

@@ -84,7 +84,11 @@ class SimpleHybridPolicy(ResiliencePolicy):
                 yield from self.rt.update_encoded_entity(ent, payload, strategy=self.update_strategy)
             else:  # PENDING/NONE
                 yield from self.rt.ingest_primary(ent, client_name, payload)
-                if ent.replicas:
+                if ent.state == ResilienceState.ENCODED:
+                    # An encoder raced the ingest: reconcile the parity with
+                    # the bytes that just landed.
+                    yield from self.rt.reconcile_encoded_member(ent)
+                elif ent.replicas:
                     yield from self.rt.refresh_replica_copies(ent, payload)
             return
 
@@ -111,8 +115,20 @@ class SimpleHybridPolicy(ResiliencePolicy):
                     self.rt.server(ent.primary).store_bytes(primary_key(ent), payload)
                 yield from self.rt.replicate_entity(ent, payload)
             else:  # PENDING or NONE -> replicate directly
+                if state == ResilienceState.PENDING_STRIPE:
+                    # The switch decision overtakes the queued demotion;
+                    # leaving the key queued would let a later flush encode
+                    # a replicated entity.
+                    self.rt.dequeue_pending(ent)
                 yield from self.rt.ingest_primary(ent, client_name, payload)
-                yield from self.rt.replicate_entity(ent, payload)
+                if ent.state == ResilienceState.ENCODED:
+                    # An encoder popped the key before the dequeue and raced
+                    # the ingest: keep the stripe protection and fold the
+                    # write into the parity (replicate_entity rejects
+                    # striped entities).
+                    yield from self.rt.reconcile_encoded_member(ent)
+                else:
+                    yield from self.rt.replicate_entity(ent, payload)
         else:  # desired == "encode"
             yield from self.rt.ingest_primary(ent, client_name, payload)
             if state == ResilienceState.REPLICATED:

@@ -171,6 +171,12 @@ class ErasurePolicy(ResiliencePolicy):
             return
         # First write, or still pending: stage and (re)queue for encoding.
         yield from self.rt.ingest_primary(ent, client_name, payload)
+        if ent.state == ResilienceState.ENCODED:
+            # An encoder raced the ingest (the entity joined a stripe
+            # mid-transfer); fold the landed bytes into the parity instead
+            # of re-enqueueing a striped entity.
+            yield from self.rt.reconcile_encoded_member(ent)
+            return
         if ent.state != ResilienceState.PENDING_STRIPE:
             self.rt.enqueue_for_encoding(ent)
         gid = self.rt.layout.coding_group_id(ent.primary)

@@ -203,16 +203,83 @@ class RecoveryManager:
         tasks = []
         decode_stripes = []
         for ent in self._lost_primaries(sid):
-            tasks.append(self.rt.recover_primary(ent))
+            tasks.append(self._primary_repair_task(ent, sid))
             if ent.stripe is not None:
                 decode_stripes.append(ent.stripe)
         for ent in self._lost_replicas(sid):
-            tasks.append(self.rt.recover_replica(ent, sid))
+            tasks.append(self._replica_repair_task(ent, sid))
         for stripe, idx in self._lost_parities(sid):
-            tasks.append(self.rt.recover_parity(stripe, idx))
+            tasks.append(self._parity_repair_task(stripe, idx, sid))
             decode_stripes.append(stripe)
         self._warm_decode_matrices(decode_stripes)
         yield from self._run_limited(tasks)
+
+    # ------------------------------------------------------------------
+    # per-task dispatch guards
+    #
+    # The sweep checks ``server(sid).failed`` once at entry, but a sweep
+    # runs for a long time: the target can fail again while earlier
+    # batches are still in flight.  Each task body therefore re-checks the
+    # destination when its process actually starts (generator bodies run
+    # lazily) and, if the target is down, requeues the repair onto a
+    # survivor — mirroring the ``dst.failed`` guard in
+    # ``_move_primary_locked`` and the survivor selection of aggressive
+    # recovery.  A failure landing *mid-repair* surfaces as DataLossError
+    # from the runtime's own dst guards; that is retried the same way.
+    # ------------------------------------------------------------------
+    def _primary_repair_task(self, ent: BlockEntity, sid: int) -> Generator:
+        if not self.rt.server(sid).failed:
+            try:
+                yield from self.rt.recover_primary(ent)
+                return
+            except DataLossError:
+                if not self.rt.server(sid).failed:
+                    raise  # genuine loss, not a mid-repair target death
+        if ent.primary != sid:
+            return  # already rehomed by another flow
+        onto = self._pick_survivor(ent, exclude=sid)
+        if onto is None:
+            raise DataLossError(f"no survivor to host {ent.key}")
+        self.rt.metrics.count("repair_requeues")
+        yield from self.rt.recover_primary(ent, onto=onto)
+
+    def _replica_repair_task(self, ent: BlockEntity, sid: int) -> Generator:
+        if not self.rt.server(sid).failed:
+            yield from self.rt.recover_replica(ent, sid)
+            if not self.rt.server(sid).failed:
+                return
+            # fell over mid-repair: the store above was skipped by the
+            # runtime's dst guard, so fall through and re-home the copy.
+        if sid not in ent.replicas:
+            return
+        group = self.rt.layout.replication_group(ent.primary)
+        candidates = [
+            t
+            for t in group
+            if t != ent.primary and t != sid and self.rt.alive(t) and t not in ent.replicas
+        ]
+        if not candidates:
+            return  # replica stays owed to the failed server's replacement
+        target = candidates[0]
+        ent.replicas = [r for r in ent.replicas if r != sid] + [target]
+        self.rt.metrics.count("repair_requeues")
+        yield from self.rt.recover_replica(ent, target)
+
+    def _parity_repair_task(self, stripe: StripeInfo, idx: int, sid: int) -> Generator:
+        if not self.rt.server(sid).failed:
+            yield from self.rt.recover_parity(stripe, idx)
+            if not self.rt.server(sid).failed:
+                return
+            # mid-repair death: the runtime skipped the store; re-home it.
+        if stripe.stripe_id not in self.rt.directory.stripes:
+            return
+        if stripe.shard_servers[idx] != sid:
+            return  # already rehomed by another flow
+        onto = self._pick_parity_survivor(stripe, exclude=sid)
+        if onto is None:
+            return  # nowhere alive to put it; the replacement will refill
+        self.rt.metrics.count("repair_requeues")
+        yield from self.rt.recover_parity(stripe, idx, onto=onto)
 
     def _warm_decode_matrices(self, stripes: list[StripeInfo]) -> None:
         """Batch-build the decode matrices a repair burst is about to need.

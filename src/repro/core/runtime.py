@@ -378,6 +378,21 @@ class StagingRuntime:
             group_pending.setdefault(new, []).append(ent.key)
         ent.primary = new
 
+    def dequeue_pending(self, ent: BlockEntity) -> None:
+        """Remove an entity's key from the encode queues (state untouched).
+
+        Used when a policy decision overtakes a pending demotion — e.g. a
+        write switches the entity back to replication before it joined a
+        stripe.  Without this the stale key stays queued and a later flush
+        would encode an entity that is no longer pending.  No-op when the
+        entity is not queued.
+        """
+        for group_pending in self.pending.values():
+            for queue in group_pending.values():
+                if ent.key in queue:
+                    queue.remove(ent.key)
+                    return
+
     def stripe_ready(self, gid: int) -> bool:
         """True when the group's pending pool can make progress."""
         group_pending = self.pending.get(gid, {})
@@ -398,10 +413,16 @@ class StagingRuntime:
         for stripe in self.directory.stripes.values():
             if self.layout.coding_group_id(stripe.shard_servers[0]) != gid:
                 continue
+            # Placeholders are soft preferences; what must stay unique per
+            # server is the set of *real* shards (rehoming may have parked
+            # a live shard on a vacant slot's placeholder server).
+            occupied = stripe.occupied_servers()
+            if server in occupied:
+                continue
             for i in stripe.vacant_slots():
                 if stripe.shard_servers[i] == server:
                     return stripe, i
-                if fallback is None and server not in stripe.shard_servers:
+                if fallback is None:
                     fallback = (stripe, i)
         return fallback
 
@@ -590,9 +611,15 @@ class StagingRuntime:
             e.state = ResilienceState.ENCODED
             e.stripe = stripe
             e.reset_ref_counter()
-            if e.replicas:
+            if e.replicas and e.version == versions[e.key]:
                 # The entity stayed replicated through the transition; the
                 # copies are reclaimed now that the stripe protects it.
+                # Members whose bytes drifted during the gather keep their
+                # copies: the stripe protects the *snapshot*, not the live
+                # version, and dropping now would leave the new bytes on the
+                # primary alone until the reconcile below lands (a primary
+                # failure in that window would lose them).  The reconcile
+                # reclaims the copies once the parity is current.
                 self._drop_replica_copies(e)
             self.metrics.count("transitions_to_encoded")
         for e in real:
@@ -639,25 +666,69 @@ class StagingRuntime:
             return
         psrv = self.server(ent.primary)
         if not psrv.has(primary_key(ent)):
-            return
+            return  # primary down/empty: any leftover copies stay (protection)
         current = psrv.fetch_bytes(primary_key(ent))
         base = stripe.baseline[slot]
         if base is not None and current.size <= stripe.shard_len:
             cur_p = self._pad(current, stripe.shard_len)
             if (cur_p == base).all():
-                return  # no drift
+                # No byte drift; adopt the live version number and reclaim
+                # any copies a deferred drop left behind.
+                stripe.member_versions[ent.key] = ent.version
+                if ent.replicas:
+                    self._drop_replica_copies(ent)
+                return
             version = ent.version
 
             def apply_state() -> None:
                 stripe.baseline[slot] = cur_p
                 stripe.lengths[slot] = int(current.size)
                 stripe.member_versions[ent.key] = version
+                if ent.replicas:
+                    # The parity now protects the live bytes: the replica
+                    # copies kept through the drifted transition (see
+                    # _form_stripe_body) are reclaimed here — leaving them
+                    # would let a later recovery restore stale bytes.
+                    self._drop_replica_copies(ent)
 
             yield from self._apply_parity_delta(
                 stripe, slot, old=base, new=cur_p, src_sid=ent.primary,
                 apply_data=apply_state,
             )
             self.metrics.count("stripe_reconciles")
+
+    def reconcile_encoded_member(self, ent: BlockEntity) -> Generator:
+        """Fold a just-landed primary write into the entity's stripe parity.
+
+        Closes the put/encode race: a write that found the entity pending
+        yields mid-ingest while an encoder forms the stripe from the
+        *previous* bytes; by the time the store lands the entity is ENCODED
+        and its replica copies are gone, so neither the parity nor any
+        replica carries the new version — a later primary failure would
+        silently decode the stale bytes.  Policies call this after ingest
+        whenever the state flipped to ENCODED under them.  Caller holds the
+        entity lock.
+        """
+        stripe = ent.stripe
+        if stripe is None or ent.key not in stripe.members:
+            return
+        psrv = self.server(ent.primary)
+        if not psrv.has(primary_key(ent)):
+            return
+        current = psrv.fetch_bytes(primary_key(ent))
+        if current.size > stripe.shard_len:
+            # The racing write outgrew the stripe: vacate the slot (the
+            # oversized bytes are already stored) and queue a re-encode,
+            # mirroring update_encoded_entity's oversize path.
+            yield from self.extract_from_stripe(ent)
+            self.enqueue_for_encoding(ent)
+            gid = self.layout.coding_group_id(ent.primary)
+            yield from self.encode_pending(gid)
+            return
+        slot = stripe.member_shard_index(ent.key)
+        yield from self.with_stripe_lock(
+            stripe.stripe_id, self._reconcile_member(stripe, slot, ent)
+        )
 
     def _fill_slot(self, stripe: StripeInfo, slot: int, ent: BlockEntity) -> Generator:
         """Refill a vacant slot: parity delta-update with the new payload.
@@ -670,6 +741,10 @@ class StagingRuntime:
             return False
         if stripe.shard_servers[slot] != ent.primary and ent.primary in stripe.shard_servers:
             return False  # would put two shards of the stripe on one server
+        if not self.server(ent.primary).has(primary_key(ent)):
+            # Same guard as stripe formation: the primary was replaced while
+            # the entity waited in the pending pool.
+            yield from self._restore_primary_from_replica(ent)
         payload = self.server(ent.primary).fetch_bytes(primary_key(ent))
         payload_p = self._pad(payload, stripe.shard_len)
         version = ent.version
@@ -683,7 +758,10 @@ class StagingRuntime:
             ent.state = ResilienceState.ENCODED
             ent.stripe = stripe
             ent.reset_ref_counter()
-            if ent.replicas:
+            if ent.replicas and ent.version == version:
+                # Drifted members keep their copies until the trailing
+                # reconcile folds the new bytes into the parity (see
+                # _form_stripe_body).
                 self._drop_replica_copies(ent)
 
         yield from self._apply_parity_delta(
@@ -1314,12 +1392,31 @@ class StagingRuntime:
             ent.primary = onto
         self.metrics.count("recovered_objects")
         yield from self.metadata_update(ent, dst_sid)
+        if (
+            ent.stripe is not None
+            and ent.key in ent.stripe.members
+            and ent.stripe.member_versions.get(ent.key) != ent.version
+        ):
+            # The restored copy (from a replica kept through a drifted
+            # encode) is newer than what the stripe protects: fold it into
+            # the parity now, which also reclaims the leftover copies.
+            slot = ent.stripe.member_shard_index(ent.key)
+            yield from self.with_stripe_lock(
+                ent.stripe.stripe_id, self._reconcile_member(ent.stripe, slot, ent)
+            )
 
     def recover_replica(self, ent: BlockEntity, target: int) -> Generator:
         """Re-materialize one replica of a replicated entity on ``target``."""
         yield from self.with_entity_lock(ent.key, self._recover_replica_locked(ent, target))
 
     def _recover_replica_locked(self, ent: BlockEntity, target: int) -> Generator:
+        if target not in ent.replicas:
+            # The placement decision was made before we got the lock; the
+            # entity may have been demoted to a stripe (replicas dropped) or
+            # re-replicated elsewhere while we waited.  Writing the copy now
+            # would leave orphan bytes no metadata tracks.
+            self.metrics.count("replica_repairs_stale")
+            return
         dst = self.server(target)
         if dst.failed or dst.has(replica_key(ent)):
             return
@@ -1340,6 +1437,13 @@ class StagingRuntime:
         payload = self.server(src_sid).fetch_bytes(key)
         yield from self.transfer(self.server(src_sid).name, dst.name, ent.nbytes, "recovery")
         yield from self.busy(target, self.costs.store_cost(ent.nbytes), "recovery")
+        if target not in ent.replicas:
+            # The stripe-formation path reclaims replicas without taking the
+            # member's entity lock (it snapshots instead), so the entity may
+            # have been demoted while our copy was in flight — storing it now
+            # would orphan the bytes.
+            self.metrics.count("replica_repairs_stale")
+            return
         if not dst.failed:
             dst.store_bytes(replica_key(ent), payload)
         self.metrics.count("recovered_replicas")

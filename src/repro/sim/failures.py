@@ -48,12 +48,37 @@ class FailureSchedule:
         return self
 
     def validate(self) -> None:
-        failed = {}
-        for t, s in sorted(self.failures):
-            failed.setdefault(s, []).append(t)
-        for t, s in sorted(self.replacements):
-            if s not in failed or min(failed[s]) > t:
-                raise ValueError(f"replacement of server {s} at t={t} precedes its failure")
+        """Check per-server event interleaving.
+
+        Each server's merged (failure, replacement) stream must alternate
+        fail -> replace -> fail -> ...: a failure requires the server to be
+        up, a replacement requires it to be down.  Same-instant ordering is
+        explicit and matches ``_run_schedule``: at equal times the failure
+        is applied first, so ``fail@t`` followed by ``replace@t`` is valid
+        while ``replace@t`` of a server that only fails at ``t`` later in a
+        prior cycle is not.
+        """
+        events: dict[int, list[tuple[float, int]]] = {}
+        for t, s in self.failures:
+            events.setdefault(s, []).append((t, 0))  # 0 = fail
+        for t, s in self.replacements:
+            events.setdefault(s, []).append((t, 1))  # 1 = replace
+        for s, evs in events.items():
+            evs.sort()  # fails sort before replaces at equal t
+            down = False
+            for t, kind in evs:
+                if kind == 0:
+                    if down:
+                        raise ValueError(
+                            f"failure of server {s} at t={t} while already failed"
+                        )
+                    down = True
+                else:
+                    if not down:
+                        raise ValueError(
+                            f"replacement of server {s} at t={t} precedes its failure"
+                        )
+                    down = False
 
 
 class FailureInjector:
@@ -69,6 +94,9 @@ class FailureInjector:
         n_servers: int | None = None,
         rng: np.random.Generator | None = None,
         log: EventLog | None = None,
+        repair_delay_s: float | None = None,
+        repair_delay_dist: str = "fixed",
+        max_concurrent_failures: int | None = None,
     ):
         if schedule is None and mtbf_s is None:
             raise ValueError("provide a schedule, an MTBF, or both")
@@ -79,6 +107,13 @@ class FailureInjector:
                 raise ValueError("stochastic mode requires n_servers")
             if rng is None:
                 raise ValueError("stochastic mode requires an rng stream")
+        if repair_delay_s is not None:
+            if mtbf_s is None:
+                raise ValueError("repair_delay_s applies to stochastic mode only")
+            if repair_delay_s < 0:
+                raise ValueError("repair_delay_s must be non-negative")
+            if repair_delay_dist not in ("fixed", "exponential", "uniform"):
+                raise ValueError(f"unknown repair_delay_dist {repair_delay_dist!r}")
         self.sim = sim
         self.on_fail = on_fail
         self.on_replace = on_replace
@@ -87,8 +122,14 @@ class FailureInjector:
         self.n_servers = n_servers
         self.rng = rng
         self.log = log
+        self.repair_delay_s = repair_delay_s
+        self.repair_delay_dist = repair_delay_dist
+        self.max_concurrent_failures = max_concurrent_failures
         self.failed_servers: set[int] = set()
         self.fail_count = 0
+        self.replace_count = 0
+        self.fleet_dead = False
+        self._repairs_pending = 0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -113,6 +154,8 @@ class FailureInjector:
         if server_id not in self.failed_servers:
             return
         self.failed_servers.discard(server_id)
+        self.replace_count += 1
+        self.fleet_dead = False
         if self.log is not None:
             self.log.emit(self.sim.now, "server_replaced", source=f"server{server_id}", server=server_id)
         if self.on_replace is not None:
@@ -137,6 +180,15 @@ class FailureInjector:
         The fleet-level failure rate is ``n_servers / mtbf_s`` (each server
         fails independently with the per-server MTBF).  Victims are chosen
         uniformly among currently-alive servers.
+
+        When ``repair_delay_s`` is set, every stochastic failure arms a
+        repair process that re-fires ``on_replace`` after a delay drawn
+        from ``repair_delay_dist`` (fixed / exponential / uniform around
+        the mean).  All draws come from the injector's own rng stream, so
+        a fixed seed reproduces the exact (failure, repair) timeline.
+
+        When the whole fleet is down a ``fleet_dead`` event is emitted;
+        the process only exits if no repair can revive a server.
         """
         fleet_rate = self.n_servers / self.mtbf_s
         while True:
@@ -144,6 +196,40 @@ class FailureInjector:
             yield self.sim.timeout(gap)
             alive = [s for s in range(self.n_servers) if s not in self.failed_servers]
             if not alive:
-                return
+                if not self.fleet_dead:
+                    self.fleet_dead = True
+                    if self.log is not None:
+                        self.log.emit(
+                            self.sim.now,
+                            "fleet_dead",
+                            source="injector",
+                            failed=sorted(self.failed_servers),
+                            repairs_pending=self._repairs_pending,
+                        )
+                if self._repairs_pending == 0:
+                    return
+                continue  # a pending repair will revive someone; keep ticking
+            if (
+                self.max_concurrent_failures is not None
+                and len(self.failed_servers) >= self.max_concurrent_failures
+            ):
+                continue  # gap already drawn: the rng stream stays aligned
             victim = int(self.rng.choice(alive))
             self._fail(victim)
+            if self.repair_delay_s is not None:
+                delay = self._draw_repair_delay()
+                self._repairs_pending += 1
+                self.sim.process(self._repair(victim, delay), name=f"repair-{victim}")
+
+    def _draw_repair_delay(self) -> float:
+        mean = self.repair_delay_s
+        if self.repair_delay_dist == "exponential":
+            return float(self.rng.exponential(mean))
+        if self.repair_delay_dist == "uniform":
+            return float(self.rng.uniform(0.5 * mean, 1.5 * mean))
+        return float(mean)  # fixed
+
+    def _repair(self, server_id: int, delay: float) -> Generator:
+        yield self.sim.timeout(delay)
+        self._repairs_pending -= 1
+        self._replace(server_id)

@@ -121,6 +121,21 @@ class StripeInfo:
     def vacant_slots(self) -> list[int]:
         return [i for i, mk in enumerate(self.members) if mk is None]
 
+    def occupied_servers(self) -> set[int]:
+        """Servers holding a *real* shard: occupied data slots plus parities.
+
+        Vacant slots are excluded — their placeholder server stores no
+        bytes, so placement decisions (rehoming, refills) must not treat it
+        as taken or they double real shards while a group member sits idle.
+        """
+        holders = {
+            self.shard_servers[i]
+            for i, mk in enumerate(self.members)
+            if mk is not None
+        }
+        holders.update(self.shard_servers[self.k:])
+        return holders
+
     def is_empty(self) -> bool:
         """True when every data slot is vacant (stripe can be reclaimed)."""
         return all(mk is None for mk in self.members)

@@ -146,6 +146,30 @@ class StagingServer:
         if self.tiered is not None:
             self.tiered.delete(key)
 
+    def snapshot(self) -> dict:
+        """Deterministic structural summary of this server's state.
+
+        ``content`` digests the sorted (key, payload-digest) pairs, so two
+        servers holding byte-identical stores produce identical snapshots
+        regardless of insertion order — the building block of the chaos
+        campaigns' bit-identical-reproduction fingerprint.
+        """
+        import hashlib
+
+        from repro.staging.objects import payload_digest
+
+        h = hashlib.blake2b(digest_size=12)
+        for key in sorted(self.store):
+            h.update(f"{key}:{payload_digest(self.store[key])};".encode())
+        return {
+            "server": self.server_id,
+            "failed": self.failed,
+            "epoch": self.epoch,
+            "objects": len(self.store),
+            "bytes": self.bytes_stored,
+            "content": h.hexdigest(),
+        }
+
     # ------------------------------------------------------------------
     # failure / replacement
     # ------------------------------------------------------------------

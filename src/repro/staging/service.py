@@ -439,9 +439,14 @@ class StagingService:
             members = self.layout.coding_group_members(
                 self.layout.coding_group_id(stripe.shard_servers[0])
             )
+            # Occupancy counts real shards only: a vacant slot's placeholder
+            # server holds no bytes, and counting it here starves ``free``
+            # and doubles two live data shards onto one server (a single
+            # further failure would then exceed the code's tolerance).
+            occupied = stripe.occupied_servers()
             free = [
                 s for s in members
-                if not self.servers[s].failed and s not in stripe.shard_servers
+                if not self.servers[s].failed and s not in occupied
             ]
             alive = [s for s in members if not self.servers[s].failed]
             if not alive:
@@ -497,6 +502,43 @@ class StagingService:
             except DataLossError:
                 unrecoverable.append(key)
         return {"verified": verified, "unrecoverable": unrecoverable}
+
+    def state_snapshot(self) -> dict:
+        """Deterministic dump of the deployment's observable state.
+
+        Everything is keyed and sorted stably (no ids, no hashes of
+        mutable objects), so two runs that made the same decisions produce
+        the same snapshot — chaos campaigns fingerprint this to assert
+        bit-identical reproduction of a seed.
+        """
+        entities = {}
+        for (name, block), ent in sorted(self.directory.entities.items()):
+            entities[f"{name}/{block}"] = {
+                "version": ent.version,
+                "state": ent.state.value,
+                "primary": ent.primary,
+                "replicas": list(ent.replicas),
+                "stripe": None if ent.stripe is None else ent.stripe.stripe_id,
+                "digest": ent.digest,
+            }
+        stripes = {
+            str(sid): {
+                "servers": list(stripe.shard_servers),
+                "members": [
+                    None if mk is None else f"{mk[0]}/{mk[1]}" for mk in stripe.members
+                ],
+                "lengths": list(stripe.lengths),
+            }
+            for sid, stripe in sorted(self.directory.stripes.items())
+        }
+        return {
+            "t": self.sim.now,
+            "servers": [s.snapshot() for s in self.servers],
+            "entities": entities,
+            "stripes": stripes,
+            "counters": dict(sorted(self.metrics.counters.items())),
+            "read_errors": self.read_errors,
+        }
 
     def storage_report(self) -> dict:
         logical = self.directory.storage_breakdown()

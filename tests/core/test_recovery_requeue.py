@@ -1,0 +1,109 @@
+"""Regression tests for the double-failure window in the repair sweep.
+
+``_repair_all_missing`` used to check ``server(sid).failed`` once at
+entry; a server that failed *mid-sweep* kept receiving recovered shards
+(or, through the runtime's own dst guards, turned every remaining task
+into an "unrecoverable object").  The fix re-checks liveness when each
+task is dispatched and requeues the repair onto a survivor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ErasurePolicy, ReplicationPolicy, StagingService
+from repro.core.recovery import RecoveryConfig
+
+from tests.conftest import small_config
+
+
+def _build(policy) -> StagingService:
+    return StagingService(small_config(), policy)
+
+
+def _stage_all(svc: StagingService, variables) -> None:
+    def wf():
+        for var in variables:
+            for b in range(svc.domain.n_blocks):
+                yield from svc.put("w0", var, svc.domain.block_bbox(b))
+        yield from svc.end_step()
+        yield from svc.flush()
+
+    svc.run_workflow(wf())
+
+
+def _run_sweep_with_midsweep_failure(svc: StagingService, sid: int, counter: str):
+    """Replace ``sid``, start its repair sweep, and fail it again as soon
+    as the first repair completes (so later tasks dispatch against a dead
+    target)."""
+    svc.fail_server(sid)
+    svc.replace_server(sid)
+
+    def killer():
+        while svc.metrics.counters.get(counter, 0) < 1:
+            yield svc.sim.timeout(1e-6)
+        svc.fail_server(sid)
+
+    svc.sim.process(killer(), name="mid-sweep-killer")
+    svc.run_workflow(svc.policy.recovery._repair_all_missing(sid))
+    svc.run()
+
+
+def test_primary_and_parity_repairs_requeue_onto_survivors():
+    policy = ErasurePolicy(
+        recovery=RecoveryConfig(mode="none", sweep_parallelism=1, repair_on_access=False)
+    )
+    svc = _build(policy)
+    _stage_all(svc, ["a", "b", "c", "d"])
+
+    _run_sweep_with_midsweep_failure(svc, sid=0, counter="recovered_objects")
+
+    assert svc.metrics.counters.get("repair_requeues", 0) >= 1
+    # Pre-fix, every task dispatched after the mid-sweep failure raised
+    # DataLossError against the dead destination and was counted lost.
+    assert svc.metrics.counters.get("unrecoverable_objects", 0) == 0
+    # Requeued primaries really moved: none of them point at the dead
+    # server without a live copy elsewhere being decodable.
+    audit = svc.verify_all()
+    assert audit["unrecoverable"] == []
+
+
+def test_replica_repairs_requeue_onto_group_survivor():
+    policy = ReplicationPolicy(
+        recovery=RecoveryConfig(mode="none", sweep_parallelism=1, repair_on_access=False)
+    )
+    svc = _build(policy)
+    _stage_all(svc, ["a", "b"])
+
+    # Trigger on the first *primary* repair: the replica tasks are queued
+    # behind the primaries, so they all dispatch against the dead target.
+    _run_sweep_with_midsweep_failure(svc, sid=0, counter="recovered_objects")
+
+    assert svc.metrics.counters.get("repair_requeues", 0) >= 1
+    assert svc.metrics.counters.get("unrecoverable_objects", 0) == 0
+    # Every entity that re-homed a replica points only at live holders.
+    for ent in svc.directory.entities.values():
+        for r in ent.replicas:
+            if r != 0:  # copies still owed to the dead server are allowed
+                assert not svc.servers[r].failed
+    audit = svc.verify_all()
+    assert audit["unrecoverable"] == []
+
+
+def test_sweep_against_live_target_unchanged():
+    """Baseline: no mid-sweep failure -> no requeues, everything repaired."""
+    policy = ErasurePolicy(
+        recovery=RecoveryConfig(mode="none", sweep_parallelism=1, repair_on_access=False)
+    )
+    svc = _build(policy)
+    _stage_all(svc, ["a", "b"])
+
+    svc.fail_server(0)
+    svc.replace_server(0)
+    svc.run_workflow(svc.policy.recovery._repair_all_missing(0))
+    svc.run()
+
+    assert svc.metrics.counters.get("repair_requeues", 0) == 0
+    assert svc.metrics.counters.get("unrecoverable_objects", 0) == 0
+    audit = svc.verify_all()
+    assert audit["unrecoverable"] == []

@@ -27,6 +27,46 @@ class TestFailureSchedule:
         with pytest.raises(ValueError):
             s.validate()
 
+    def test_same_instant_fail_then_replace_valid(self):
+        # Same-instant ordering is explicit: the failure applies first.
+        FailureSchedule().add_failure(1, 0).add_replacement(1, 0).validate()
+
+    def test_replacement_at_failure_time_of_later_cycle_rejected(self):
+        # Pre-fix, only min(failed[s]) was checked: a replacement at t=5
+        # passed because the server's *first* failure was at t=1, even
+        # though its second failure (t=10) hadn't happened yet and the
+        # server was healthy at t=5.
+        s = (
+            FailureSchedule()
+            .add_failure(1, 0)
+            .add_replacement(2, 0)
+            .add_failure(10, 0)
+            .add_replacement(5, 0)
+        )
+        with pytest.raises(ValueError):
+            s.validate()
+
+    def test_double_replacement_rejected(self):
+        s = FailureSchedule().add_failure(1, 0).add_replacement(2, 0).add_replacement(3, 0)
+        with pytest.raises(ValueError):
+            s.validate()
+
+    def test_double_failure_rejected(self):
+        s = FailureSchedule().add_failure(1.0, 2).add_failure(2.0, 2)
+        with pytest.raises(ValueError):
+            s.validate()
+
+    def test_fail_replace_cycles_valid(self):
+        s = FailureSchedule()
+        for cycle in range(3):
+            s.add_failure(10 * cycle + 1, 4).add_replacement(10 * cycle + 5, 4)
+        s.validate()
+
+    def test_interleaving_independent_per_server(self):
+        FailureSchedule().add_failure(1, 0).add_failure(2, 1).add_replacement(
+            3, 1
+        ).add_replacement(4, 0).validate()
+
 
 class TestScheduledInjection:
     def test_fail_and_replace_callbacks(self):
@@ -43,12 +83,18 @@ class TestScheduledInjection:
         assert events == [(1.0, "fail", 3), (5.0, "replace", 3)]
 
     def test_double_fail_is_noop(self):
+        # The schedule validator rejects double failures, but the runtime
+        # hook stays idempotent (stochastic mode and direct drivers rely
+        # on it): killing a dead server is a no-op.
         sim = Simulator()
         fails = []
-        sched = FailureSchedule().add_failure(1.0, 2).add_failure(2.0, 2)
-        inj = FailureInjector(sim, on_fail=lambda s: fails.append(s), schedule=sched)
-        inj.start()
-        sim.run()
+        inj = FailureInjector(
+            sim,
+            on_fail=lambda s: fails.append(s),
+            schedule=FailureSchedule().add_failure(1.0, 2),
+        )
+        inj._fail(2)
+        inj._fail(2)
         assert fails == [2]
         assert inj.fail_count == 1
 
@@ -153,3 +199,135 @@ class TestStochasticInjection:
         inj.start()
         sim.run(until=10.0)
         assert sorted(fails) == [0, 1, 2]
+        assert inj.fleet_dead
+
+    def test_fleet_dead_event_emitted(self):
+        sim = Simulator()
+        log = EventLog()
+        inj = FailureInjector(
+            sim,
+            on_fail=lambda s: None,
+            mtbf_s=0.001,
+            n_servers=2,
+            rng=np.random.default_rng(1),
+            log=log,
+        )
+        inj.start()
+        sim.run(until=10.0)
+        assert log.count("fleet_dead") == 1
+
+    def test_repair_delay_rearms_on_replace(self):
+        # Pre-fix, stochastic mode never scheduled replacements: the fleet
+        # only ever shrank.  With a repair delay every failure is followed
+        # by a replacement that re-fires on_replace.
+        sim = Simulator()
+        events = []
+        inj = FailureInjector(
+            sim,
+            on_fail=lambda s: events.append(("fail", sim.now, s)),
+            on_replace=lambda s: events.append(("replace", sim.now, s)),
+            mtbf_s=5.0,
+            n_servers=4,
+            rng=np.random.default_rng(3),
+            repair_delay_s=0.5,
+        )
+        inj.start()
+        sim.run(until=50.0)
+        fails = [e for e in events if e[0] == "fail"]
+        replaces = [e for e in events if e[0] == "replace"]
+        assert fails and replaces
+        assert inj.replace_count == len(replaces)
+        # Fixed distribution: each repair lands exactly repair_delay_s
+        # after its failure.
+        by_server: dict[int, list[tuple[str, float]]] = {}
+        for kind, t, s in events:
+            by_server.setdefault(s, []).append((kind, t))
+        for seq in by_server.values():
+            for (k1, t1), (k2, t2) in zip(seq, seq[1:]):
+                if k1 == "fail" and k2 == "replace":
+                    assert t2 == pytest.approx(t1 + 0.5)
+
+    def test_repair_keeps_fleet_alive(self):
+        sim = Simulator()
+        inj = FailureInjector(
+            sim,
+            on_fail=lambda s: None,
+            on_replace=lambda s: None,
+            mtbf_s=0.1,
+            n_servers=3,
+            rng=np.random.default_rng(7),
+            repair_delay_s=0.01,
+        )
+        inj.start()
+        sim.run(until=20.0)
+        # Repairs outpace the fleet-death spiral: the injector never exits.
+        assert inj.replace_count > 0
+        assert not inj.fleet_dead or inj.replace_count > inj.fail_count - 3
+
+    @pytest.mark.parametrize("dist", ["fixed", "exponential", "uniform"])
+    def test_repair_distributions_deterministic(self, dist):
+        def run(seed):
+            sim = Simulator()
+            events = []
+            inj = FailureInjector(
+                sim,
+                on_fail=lambda s: events.append(("f", sim.now, s)),
+                on_replace=lambda s: events.append(("r", sim.now, s)),
+                mtbf_s=2.0,
+                n_servers=4,
+                rng=np.random.default_rng(seed),
+                repair_delay_s=0.3,
+                repair_delay_dist=dist,
+            )
+            inj.start()
+            sim.run(until=30.0)
+            return events
+
+        assert run(5) == run(5)
+
+    def test_max_concurrent_failures_cap(self):
+        sim = Simulator()
+        inj = FailureInjector(
+            sim,
+            on_fail=lambda s: None,
+            mtbf_s=0.01,
+            n_servers=8,
+            rng=np.random.default_rng(2),
+            repair_delay_s=1.0,
+            max_concurrent_failures=2,
+        )
+        peak = 0
+        orig = inj._fail
+
+        def tracking_fail(sid):
+            nonlocal peak
+            orig(sid)
+            peak = max(peak, len(inj.failed_servers))
+
+        inj._fail = tracking_fail
+        inj.start()
+        sim.run(until=10.0)
+        assert peak <= 2
+
+    def test_repair_delay_requires_stochastic_mode(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FailureInjector(
+                sim,
+                on_fail=lambda s: None,
+                schedule=FailureSchedule().add_failure(1.0, 0),
+                repair_delay_s=1.0,
+            )
+
+    def test_unknown_repair_dist_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FailureInjector(
+                sim,
+                on_fail=lambda s: None,
+                mtbf_s=1.0,
+                n_servers=2,
+                rng=np.random.default_rng(0),
+                repair_delay_s=1.0,
+                repair_delay_dist="gamma",
+            )
