@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Weak-scaling sweep of the failure paths: 4 -> 64 staging servers.
+
+Extends the Table II shrink sweep beyond the paper's three columns while
+holding the per-server share fixed, then injects one fail/replace cycle at
+each scale and records how many directory records the failure handling
+touched (``repro.scaling``).  The asserted bound is an *operation count* —
+directory touches per failure stay proportional to the failed server's
+share, not to the directory size — so the gate has no wall-clock
+flakiness.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_scaling.py [--servers 4 8 16] [--no-assert]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.scaling import SWEEP_SERVERS, ScalingConfig, check_bounds, run_scale
+
+from common import print_table, save_results
+
+
+def run(servers, seed: int = 1) -> tuple[list[dict], ScalingConfig]:
+    cfg = ScalingConfig(servers=tuple(servers), seed=seed)
+    rows = [run_scale(cfg, n) for n in cfg.servers]
+    return rows, cfg
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--servers", type=int, nargs="*", default=list(SWEEP_SERVERS),
+                    help="server counts to sweep (each divisible by 4)")
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--no-assert", action="store_true",
+                    help="report only; do not enforce the complexity bounds")
+    args = ap.parse_args(argv)
+
+    rows, cfg = run(args.servers, seed=args.seed)
+    print_table(
+        "Weak scaling: directory touches per failure",
+        rows,
+        columns=[
+            ("n_servers", "servers", "{:d}"),
+            ("total_entities", "entities", "{:d}"),
+            ("total_stripes", "stripes", "{:d}"),
+            ("affected_total", "affected", "{:d}"),
+            ("touches", "touches", "{:d}"),
+            ("touch_ratio", "ratio", "{:.2f}"),
+        ],
+    )
+    save_results("scaling_failure_touches", rows)
+
+    if args.no_assert:
+        return 0
+    problems = check_bounds(rows, cfg)
+    for p in problems:
+        print(f"BOUND VIOLATED: {p}")
+    if not problems:
+        print(
+            f"\nok: touches per failure stay O(objects-on-failed-server) "
+            f"across {rows[0]['n_servers']} -> {rows[-1]['n_servers']} servers"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

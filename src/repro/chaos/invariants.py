@@ -289,6 +289,89 @@ def check_parity_integrity(svc) -> list[str]:
     return problems
 
 
+def check_reverse_indexes(svc) -> list[str]:
+    """Every directory reverse index exactly mirrors the forward maps.
+
+    Rebuilds each index from scratch out of the entities/stripes dicts and
+    diffs it against the incrementally-maintained one — any divergence
+    means some mutation path bypassed the index-update hooks.  Also
+    cross-checks the spatial index's cached per-server load against its
+    brute-force scan.
+    """
+    problems = []
+    d = svc.directory
+
+    def diff(label: str, maintained: dict, expected: dict) -> None:
+        for k in sorted(set(maintained) | set(expected), key=str):
+            got = maintained.get(k, set())
+            want = expected.get(k, set())
+            if got != want:
+                problems.append(
+                    f"{label}[{k}]: maintained {sorted(got, key=str)} != "
+                    f"rebuilt {sorted(want, key=str)}"
+                )
+
+    exp_primary: dict[int, set] = {}
+    exp_state: dict[ResilienceState, set] = {s: set() for s in ResilienceState}
+    exp_replicas: dict[int, set] = {}
+    for key, ent in d.entities.items():
+        exp_primary.setdefault(ent.primary, set()).add(key)
+        exp_state[ent.state].add(key)
+        for r in ent.replicas:
+            exp_replicas.setdefault(r, set()).add(key)
+    # Drop empty sets on both sides: an index legitimately keeps an empty
+    # set for a server whose last entity moved away.
+    diff(
+        "entities_by_primary",
+        {k: v for k, v in d.entities_by_primary.items() if v},
+        exp_primary,
+    )
+    diff(
+        "entities_by_state",
+        {k: v for k, v in d.entities_by_state.items() if v},
+        {k: v for k, v in exp_state.items() if v},
+    )
+    diff(
+        "replicas_by_server",
+        {k: v for k, v in d.replicas_by_server.items() if v},
+        exp_replicas,
+    )
+
+    exp_stripes: dict[int, set[int]] = {}
+    exp_vacant: dict[int, set[int]] = {}
+    for sid, stripe in d.stripes.items():
+        for srv in set(stripe.shard_servers):
+            exp_stripes.setdefault(srv, set()).add(sid)
+        if stripe.vacant_slots():
+            exp_vacant.setdefault(stripe.group_id, set()).add(sid)
+        if stripe._dir is not d:
+            problems.append(f"stripe {sid}: directory back-reference not set")
+    diff(
+        "stripes_by_server",
+        {k: v for k, v in d.stripes_by_server.items() if v},
+        exp_stripes,
+    )
+    diff(
+        "vacant_by_group",
+        {k: v for k, v in d.vacant_by_group.items() if v},
+        exp_vacant,
+    )
+
+    for key, ent in d.entities.items():
+        if ent._dir is not d:
+            problems.append(f"entity {key}: directory back-reference not set")
+        if ent.seq < 0:
+            problems.append(f"entity {key}: no insertion sequence assigned")
+
+    for name in sorted({e.name for e in d.entities.values()}):
+        if svc.index.blocks_per_server(name) != svc.index.scan_blocks_per_server(name):
+            problems.append(
+                f"spatial index: cached blocks_per_server({name!r}) diverges "
+                f"from the brute-force scan"
+            )
+    return problems
+
+
 def check_digest_audit(svc) -> list[str]:
     """Full byte-exact audit through the real read paths.
 
@@ -333,6 +416,7 @@ INVARIANTS: tuple[Invariant, ...] = (
     Invariant("anti_affinity", QUIESCENT, check_anti_affinity),
     Invariant("store_consistency", QUIESCENT, check_store_consistency),
     Invariant("parity_integrity", QUIESCENT, check_parity_integrity),
+    Invariant("reverse_indexes", QUIESCENT, check_reverse_indexes),
     Invariant("digest_audit", QUIESCENT, check_digest_audit),
 )
 

@@ -9,6 +9,7 @@ Usage::
         --fail 4:0 --replace 8:0
     python -m repro trace --case case1 --policy corec --out traces/
     python -m repro report --trace traces/spans.jsonl
+    python -m repro scale --servers 4 8 16
 
 ``--fail STEP:SERVER`` / ``--replace STEP:SERVER`` inject the paper's
 Figure-10-style failure schedules.  ``trace`` runs with hierarchical span
@@ -321,6 +322,30 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_scale(args: argparse.Namespace) -> int:
+    """Weak-scaling sweep of the failure paths with operation-count bounds.
+
+    Exit status: 0 when directory touches per failure stay proportional to
+    the failed server's share across the sweep, 1 when any complexity
+    bound (or quiescent invariant) is violated.
+    """
+    from repro.scaling import SWEEP_SERVERS, ScalingConfig, check_bounds, run_scale
+
+    cfg = ScalingConfig(
+        servers=tuple(args.servers) if args.servers else SWEEP_SERVERS,
+        blocks_per_server=args.blocks_per_server,
+        timesteps=args.timesteps,
+        seed=args.seed,
+    )
+    rows = [run_scale(cfg, n) for n in cfg.servers]
+    problems = [] if args.no_assert else check_bounds(rows, cfg)
+    _emit({"sweep": rows, "bound_violations": problems}, args)
+    if problems and not args.json:
+        for p in problems:
+            print(f"BOUND VIOLATED: {p}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def cmd_model(args: argparse.Namespace) -> int:
     from repro.core.model import CoRECModel, ModelParams
 
@@ -443,6 +468,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--out", default=None,
                          help="directory for trace/schedule dumps of a failing campaign")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_scale = sub.add_parser(
+        "scale", help="weak-scaling sweep of the failure paths (4 -> 64 servers)"
+    )
+    p_scale.add_argument("--servers", type=int, nargs="*", default=None,
+                         help="server counts to sweep (each divisible by 4)")
+    p_scale.add_argument("--blocks-per-server", type=int, default=8)
+    p_scale.add_argument("--timesteps", type=int, default=3)
+    p_scale.add_argument("--seed", type=int, default=1)
+    p_scale.add_argument("--no-assert", action="store_true",
+                         help="report only; do not enforce the complexity bounds")
+    p_scale.set_defaults(func=cmd_scale)
 
     p_model = sub.add_parser("model", help="evaluate the Section II-D model")
     p_model.add_argument("--s", type=float, default=0.67)

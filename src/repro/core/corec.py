@@ -152,8 +152,11 @@ class CoRECPolicy(ResiliencePolicy):
         self, exclude_hot: bool = False, step: int | None = None
     ) -> BlockEntity | None:
         best: BlockEntity | None = None
-        for ent in self.rt.directory.entities.values():
-            if ent.state != ResilienceState.REPLICATED or ent.transition_in_flight:
+        # The state set holds exactly the replicated entities, in directory
+        # insertion order — the same candidates (and tie-breaks) the old
+        # whole-directory walk produced, at O(replicated) cost.
+        for ent in self.rt.directory.entities_in_state(ResilienceState.REPLICATED):
+            if ent.transition_in_flight:
                 continue
             if exclude_hot and step is not None and self.classifier.is_hot(ent.key, step):
                 continue
@@ -167,8 +170,8 @@ class CoRECPolicy(ResiliencePolicy):
 
     def _hottest_encoded(self, exclude: set | None = None) -> BlockEntity | None:
         best: BlockEntity | None = None
-        for ent in self.rt.directory.entities.values():
-            if ent.state != ResilienceState.ENCODED or ent.transition_in_flight:
+        for ent in self.rt.directory.entities_in_state(ResilienceState.ENCODED):
+            if ent.transition_in_flight:
                 continue
             if exclude and ent.key in exclude:
                 continue
@@ -300,10 +303,10 @@ class CoRECPolicy(ResiliencePolicy):
         # lookahead predicts will be written in the next step(s).
         if self.config.promote_on_access:
             promoted = 0
-            for ent in list(self.rt.directory.entities.values()):
+            for ent in self.rt.directory.entities_in_state(ResilienceState.ENCODED):
                 if promoted >= self.config.max_promotions_per_step:
                     break
-                if ent.state != ResilienceState.ENCODED or ent.transition_in_flight:
+                if ent.transition_in_flight:
                     continue
                 if self.classifier.predicted_hot(ent.key, step + 1):
                     self._maybe_schedule_promotion(ent)

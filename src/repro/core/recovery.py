@@ -148,32 +148,38 @@ class RecoveryManager:
     # ------------------------------------------------------------------
     # work enumeration
     # ------------------------------------------------------------------
+    # Each enumeration reads the directory's reverse indexes, so a sweep
+    # visits only the failed server's records (O(affected), not
+    # O(directory)); the index accessors return insertion order, matching
+    # what the old full scans produced.
     def _lost_primaries(self, sid: int) -> list[BlockEntity]:
         out = []
-        for ent in self.rt.directory.entities.values():
+        for ent in self.rt.directory.entities_on_server(sid):
             if ent.version < 0:
                 continue
-            if ent.primary == sid and not self.rt.server(sid).has(primary_key(ent)):
+            if not self.rt.server(sid).has(primary_key(ent)):
                 out.append(ent)
         return out
 
     def _lost_replicas(self, sid: int) -> list[BlockEntity]:
         out = []
-        for ent in self.rt.directory.entities.values():
+        for ent in self.rt.directory.replicas_on_server(sid):
             # Pending entities keep their pre-demotion replicas as their
-            # only protection, so their copies are repaired too.
+            # only protection, so their copies are repaired too.  Encoded
+            # entities may also hold leftover copies (drifted members); the
+            # stripe protects those, so their replicas are not repaired.
             if ent.state not in (
                 ResilienceState.REPLICATED,
                 ResilienceState.PENDING_STRIPE,
             ):
                 continue
-            if sid in ent.replicas and not self.rt.server(sid).has(replica_key(ent)):
+            if not self.rt.server(sid).has(replica_key(ent)):
                 out.append(ent)
         return out
 
     def _lost_parities(self, sid: int) -> list[tuple[StripeInfo, int]]:
         out = []
-        for stripe in self.rt.directory.stripes.values():
+        for stripe in self.rt.directory.stripes_on_server(sid):
             for i in range(stripe.k, stripe.k + stripe.m):
                 if stripe.shard_servers[i] == sid and not self.rt.server(sid).has(
                     stripe.shard_key(i)
@@ -345,7 +351,18 @@ class RecoveryManager:
         """
         group = set(self.rt.layout.coding_group(sid))
         tasks = []
-        for stripe in list(self.rt.directory.stripes.values()):
+        # Candidates come from the reverse index: exactly the stripes with a
+        # shard on some group member (ascending id = directory insertion
+        # order, the order the old full scan walked).
+        directory = self.rt.directory
+        candidate_ids = sorted(
+            set().union(*(directory.stripes_by_server.get(s, set()) for s in group))
+        ) if group else []
+        directory.op_stats["stripe_touches"] += len(candidate_ids)
+        for stripe_id in candidate_ids:
+            stripe = directory.stripes.get(stripe_id)
+            if stripe is None:
+                continue
             if sid in stripe.shard_servers:
                 continue
             if not (group & set(stripe.shard_servers)):
@@ -367,7 +384,7 @@ class RecoveryManager:
             if move_slot < stripe.k:
                 mk = stripe.members[move_slot]
                 if mk is None:
-                    stripe.shard_servers[move_slot] = sid  # vacant: pure metadata
+                    stripe.retarget_shard(move_slot, sid)  # vacant: pure metadata
                     self.rt.metrics.count("rebalanced_shards")
                     continue
                 ent = self.rt.directory.entities[mk]
@@ -403,7 +420,7 @@ class RecoveryManager:
         dst.store_bytes(key, payload)
         if not src.failed:
             src.delete_bytes(key)
-        stripe.shard_servers[slot] = onto
+        stripe.retarget_shard(slot, onto)
         ent.primary = onto
         yield from self.rt.metadata_update(ent, onto)
 
@@ -425,7 +442,7 @@ class RecoveryManager:
             if not dst.failed and old_srv.has(key):
                 dst.store_bytes(key, old_srv.fetch_bytes(key))
                 old_srv.delete_bytes(key)
-                stripe.shard_servers[idx] = onto
+                stripe.retarget_shard(idx, onto)
         else:
             yield from self.rt._recover_parity_locked(stripe, idx, onto)
 

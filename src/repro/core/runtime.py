@@ -410,9 +410,7 @@ class StagingRuntime:
         stripe on one server.
         """
         fallback: tuple[StripeInfo, int] | None = None
-        for stripe in self.directory.stripes.values():
-            if self.layout.coding_group_id(stripe.shard_servers[0]) != gid:
-                continue
+        for stripe in self.directory.vacant_stripes(gid):
             # Placeholders are soft preferences; what must stay unique per
             # server is the set of *real* shards (rehoming may have parked
             # a live shard on a vacant slot's placeholder server).
@@ -600,6 +598,7 @@ class StagingRuntime:
             shard_servers=shard_servers,
             lengths=lengths,
             shard_len=shard_len,
+            group_id=gid,
             baseline=[p if mk is not None else None for p, mk in zip(payloads, slot_keys)],
         )
         for shard_idx, psid, parity in parity_plan:
@@ -750,8 +749,7 @@ class StagingRuntime:
         version = ent.version
 
         def apply_state() -> None:
-            stripe.members[slot] = ent.key
-            stripe.shard_servers[slot] = ent.primary  # retarget placeholder
+            stripe.fill_slot(slot, ent.key, ent.primary)  # retargets placeholder
             stripe.lengths[slot] = int(payload.size)
             stripe.member_versions[ent.key] = version
             stripe.baseline[slot] = payload_p
@@ -1002,7 +1000,7 @@ class StagingRuntime:
         def apply_state() -> None:
             if not psrv.has(primary_key(ent)):
                 psrv.store_bytes(primary_key(ent), old[: stripe.lengths[slot]].copy())
-            stripe.members[slot] = None
+            stripe.vacate_slot(slot)
             stripe.lengths[slot] = 0
             stripe.baseline[slot] = None
             stripe.member_versions.pop(ent.key, None)
@@ -1046,12 +1044,7 @@ class StagingRuntime:
         that empty out.  Runs off the write path (step barrier).
         """
         while True:
-            stripes = [
-                s
-                for s in self.directory.stripes.values()
-                if self.layout.coding_group_id(s.shard_servers[0]) == gid
-                and s.vacant_slots()
-            ]
+            stripes = self.directory.vacant_stripes(gid)
             total_vacant = sum(len(s.vacant_slots()) for s in stripes)
             if total_vacant < self.layout.k or len(stripes) < 2:
                 return
@@ -1388,7 +1381,7 @@ class StagingRuntime:
         if onto is not None and onto != ent.primary:
             if ent.stripe is not None:
                 slot = ent.stripe.member_shard_index(ent.key)
-                ent.stripe.shard_servers[slot] = onto
+                ent.stripe.retarget_shard(slot, onto)
             ent.primary = onto
         self.metrics.count("recovered_objects")
         yield from self.metadata_update(ent, dst_sid)
@@ -1469,5 +1462,5 @@ class StagingRuntime:
             return
         dst.store_bytes(stripe.shard_key(idx), padded)
         if onto is not None:
-            stripe.shard_servers[idx] = onto
+            stripe.retarget_shard(idx, onto)
         self.metrics.count("recovered_parities")

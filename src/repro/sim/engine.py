@@ -235,10 +235,23 @@ class ConditionEvent(Event):
             return
         if not ev.ok:
             self.fail(ev.value)
+            self._detach()
             return
         self._fired[ev] = ev.value
         if len(self._fired) >= self._needed:
             self.succeed(dict(self._fired))
+            self._detach()
+
+    def _detach(self) -> None:
+        """Drop ``_on_child`` from every child once the condition settles.
+
+        Without this, non-winning children (e.g. a long-lived event an
+        ``AnyOf`` raced against a timeout) keep the dead callback forever:
+        repeated waits accumulate unbounded callbacks that all run — as
+        no-ops — when the event finally fires.
+        """
+        for ev in self.events:
+            ev._remove_callback(self._on_child)
 
 
 def AnyOf(sim: "Simulator", events: Iterable[Event]) -> ConditionEvent:

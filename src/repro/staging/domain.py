@@ -134,7 +134,15 @@ class BBox:
         return dist
 
     def corners(self) -> list[tuple[int, ...]]:
-        return [c for c in itertools.product(*zip(self.lb, tuple(u - 1 for u in self.ub)))]
+        """Distinct corner cells of the box; ``[]`` for an empty box.
+
+        A size-1 dimension contributes one coordinate, not two (its first
+        and last cells coincide), so no corner is listed twice.
+        """
+        if self.is_empty:
+            return []
+        axes = [(l,) if u - l == 1 else (l, u - 1) for l, u in zip(self.lb, self.ub)]
+        return list(itertools.product(*axes))
 
 
 class Domain:

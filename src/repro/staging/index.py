@@ -39,6 +39,8 @@ class SpatialIndex:
         self.domain = domain
         self.n_servers = n_servers
         self.scheme = scheme
+        # blocks_per_server is pure in (scheme, name): memoise per name.
+        self._load_cache: dict[str, dict[int, int]] = {}
 
     # ------------------------------------------------------------------
     def primary_of_block(self, block_id: int, name: str = "") -> int:
@@ -58,7 +60,24 @@ class SpatialIndex:
         return out
 
     def blocks_per_server(self, name: str = "") -> dict[int, int]:
-        """Block-count load per server (for balance assertions)."""
+        """Block-count load per server (for balance assertions).
+
+        Round-robin loads are computed analytically in O(n_servers); hash
+        loads are scanned once per variable name and memoised (the mapping
+        is a pure function of the name, so the cache never invalidates).
+        """
+        if self.scheme == "round_robin":
+            # Blocks 0..n-1 striped over servers: server s gets one extra
+            # block iff s < n_blocks % n_servers.  Name plays no role.
+            base, extra = divmod(self.domain.n_blocks, self.n_servers)
+            return {s: base + (1 if s < extra else 0) for s in range(self.n_servers)}
+        cached = self._load_cache.get(name)
+        if cached is None:
+            cached = self._load_cache[name] = self.scan_blocks_per_server(name)
+        return dict(cached)
+
+    def scan_blocks_per_server(self, name: str = "") -> dict[int, int]:
+        """Uncached O(n_blocks) reference scan (cross-check for the cache)."""
         counts = {s: 0 for s in range(self.n_servers)}
         for bid in range(self.domain.n_blocks):
             counts[self.primary_of_block(bid, name)] += 1

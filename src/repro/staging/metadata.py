@@ -22,14 +22,49 @@ __all__ = ["MetadataDirectory"]
 
 
 class MetadataDirectory:
-    """Entity registry plus metadata-owner mapping."""
+    """Entity registry plus metadata-owner mapping.
 
-    def __init__(self, domain: Domain, n_servers: int):
+    Beyond the forward maps (``entities``, ``stripes``) the directory
+    maintains *reverse indexes* so failure handling, recovery sweeps and
+    classification touch only the records they affect instead of walking
+    the whole directory:
+
+    - ``entities_by_primary``: server id -> entity keys whose primary copy
+      lives there;
+    - ``entities_by_state``: resilience state -> entity keys (the hot/cold
+      membership sets the classifier scans);
+    - ``replicas_by_server``: server id -> entity keys with a replica there;
+    - ``stripes_by_server``: server id -> stripe ids with any shard slot
+      (including vacant placeholders) targeted at that server;
+    - ``vacant_by_group``: coding-group id -> stripe ids with >=1 vacant
+      data slot (the free list refills and compaction consume).
+
+    The indexes are updated transactionally with every mutation:
+    ``BlockEntity.__setattr__`` notifies on primary/state/replicas writes,
+    and ``StripeInfo``'s mutation methods notify on shard placement
+    changes.  ``op_stats`` counts index-path record touches and remaining
+    full-directory walks so complexity bounds can be asserted from
+    operation counts rather than wall-clock time.
+    """
+
+    def __init__(self, domain: Domain, n_servers: int, layout=None):
         self.domain = domain
         self.n_servers = n_servers
+        self.layout = layout
         self.entities: dict[tuple[str, int], BlockEntity] = {}
         self.stripes: dict[int, StripeInfo] = {}
         self._next_stripe_id = 0
+        self._next_entity_seq = 0
+        self.entities_by_primary: dict[int, set[tuple[str, int]]] = {}
+        self.entities_by_state: dict[ResilienceState, set[tuple[str, int]]] = {
+            s: set() for s in ResilienceState
+        }
+        self.replicas_by_server: dict[int, set[tuple[str, int]]] = {}
+        self.stripes_by_server: dict[int, set[int]] = {}
+        self.vacant_by_group: dict[int, set[int]] = {}
+        # Plain-int operation counters (exported as registry gauges so they
+        # never enter ``Metrics.counters`` and cannot perturb golden runs).
+        self.op_stats = {"entity_touches": 0, "stripe_touches": 0, "full_scans": 0}
 
     # ------------------------------------------------------------------
     def owner_of(self, entity_key: tuple[str, int]) -> int:
@@ -47,7 +82,13 @@ class MetadataDirectory:
                 bbox=self.domain.block_bbox(block_id),
                 primary=primary,
             )
+            ent.seq = self._next_entity_seq
+            self._next_entity_seq += 1
             self.entities[key] = ent
+            self.entities_by_primary.setdefault(ent.primary, set()).add(key)
+            self.entities_by_state[ent.state].add(key)
+            ent._dir = self  # from here on, mutations notify the indexes
+            self.op_stats["entity_touches"] += 1
         return ent
 
     def get(self, name: str, block_id: int) -> BlockEntity | None:
@@ -66,20 +107,99 @@ class MetadataDirectory:
         return sid
 
     def register_stripe(self, stripe: StripeInfo) -> None:
+        if stripe.group_id < 0 and self.layout is not None:
+            stripe.group_id = self.layout.coding_group_id(stripe.shard_servers[0])
         self.stripes[stripe.stripe_id] = stripe
+        for srv in set(stripe.shard_servers):
+            self.stripes_by_server.setdefault(srv, set()).add(stripe.stripe_id)
+        if stripe.vacant_slots():
+            self.vacant_by_group.setdefault(stripe.group_id, set()).add(stripe.stripe_id)
+        stripe._dir = self
+        self.op_stats["stripe_touches"] += 1
 
     def drop_stripe(self, stripe_id: int) -> None:
-        self.stripes.pop(stripe_id, None)
+        stripe = self.stripes.pop(stripe_id, None)
+        if stripe is None:
+            return
+        stripe._dir = None
+        for srv in set(stripe.shard_servers):
+            self.stripes_by_server.get(srv, set()).discard(stripe_id)
+        self.vacant_by_group.get(stripe.group_id, set()).discard(stripe_id)
+        self.op_stats["stripe_touches"] += 1
+
+    # ------------------------------------------------------------------
+    # index-maintenance notifications (called from the object layer)
+    # ------------------------------------------------------------------
+    def _entity_index_update(self, ent: BlockEntity, attr: str, old, new) -> None:
+        key = ent.key
+        if attr == "primary":
+            if old != new:
+                self.entities_by_primary.get(old, set()).discard(key)
+                self.entities_by_primary.setdefault(new, set()).add(key)
+        elif attr == "state":
+            if old != new:
+                self.entities_by_state[old].discard(key)
+                self.entities_by_state[new].add(key)
+        else:  # replicas
+            old_set, new_set = set(old or ()), set(new or ())
+            for srv in old_set - new_set:
+                self.replicas_by_server.get(srv, set()).discard(key)
+            for srv in new_set - old_set:
+                self.replicas_by_server.setdefault(srv, set()).add(key)
+        self.op_stats["entity_touches"] += 1
+
+    def _stripe_retargeted(self, stripe: StripeInfo, old: int, new: int) -> None:
+        if old != new:
+            if old not in stripe.shard_servers:
+                self.stripes_by_server.get(old, set()).discard(stripe.stripe_id)
+            self.stripes_by_server.setdefault(new, set()).add(stripe.stripe_id)
+        self.op_stats["stripe_touches"] += 1
+
+    def _stripe_slot_filled(self, stripe: StripeInfo, old: int, new: int) -> None:
+        self._stripe_retargeted(stripe, old, new)
+        if not stripe.vacant_slots():
+            self.vacant_by_group.get(stripe.group_id, set()).discard(stripe.stripe_id)
+
+    def _stripe_slot_vacated(self, stripe: StripeInfo) -> None:
+        self.vacant_by_group.setdefault(stripe.group_id, set()).add(stripe.stripe_id)
+        self.op_stats["stripe_touches"] += 1
 
     # ------------------------------------------------------------------
     # aggregate queries used by metrics and tests
     # ------------------------------------------------------------------
     def entities_on_server(self, server_id: int) -> list[BlockEntity]:
-        """Entities whose primary copy lives on ``server_id``."""
-        return [e for e in self.entities.values() if e.primary == server_id]
+        """Entities whose primary copy lives on ``server_id``.
+
+        Served from the reverse index in O(entities on that server); the
+        ``seq`` sort reproduces directory insertion order, so consumers see
+        the same ordering the old full scan produced.
+        """
+        keys = self.entities_by_primary.get(server_id, ())
+        self.op_stats["entity_touches"] += len(keys)
+        return sorted((self.entities[k] for k in keys), key=lambda e: e.seq)
 
     def entities_in_state(self, state: ResilienceState) -> list[BlockEntity]:
-        return [e for e in self.entities.values() if e.state == state]
+        keys = self.entities_by_state[state]
+        self.op_stats["entity_touches"] += len(keys)
+        return sorted((self.entities[k] for k in keys), key=lambda e: e.seq)
+
+    def replicas_on_server(self, server_id: int) -> list[BlockEntity]:
+        """Entities holding a replica on ``server_id`` (insertion order)."""
+        keys = self.replicas_by_server.get(server_id, ())
+        self.op_stats["entity_touches"] += len(keys)
+        return sorted((self.entities[k] for k in keys), key=lambda e: e.seq)
+
+    def stripes_on_server(self, server_id: int) -> list[StripeInfo]:
+        """Stripes with any shard slot targeted at ``server_id`` (id order)."""
+        ids = self.stripes_by_server.get(server_id, ())
+        self.op_stats["stripe_touches"] += len(ids)
+        return [self.stripes[sid] for sid in sorted(ids)]
+
+    def vacant_stripes(self, group_id: int) -> list[StripeInfo]:
+        """Stripes of one coding group with >=1 vacant data slot (id order)."""
+        ids = self.vacant_by_group.get(group_id, ())
+        self.op_stats["stripe_touches"] += len(ids)
+        return [self.stripes[sid] for sid in sorted(ids)]
 
     def storage_breakdown(self) -> dict[str, int]:
         """Bytes of original data vs redundancy currently promised.
@@ -87,6 +207,7 @@ class MetadataDirectory:
         Computed from metadata (entity sizes and states), independent of the
         per-server stores, so tests can cross-check the two.
         """
+        self.op_stats["full_scans"] += 1
         original = 0
         replica_overhead = 0
         parity_overhead = 0

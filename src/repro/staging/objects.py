@@ -97,6 +97,10 @@ class StripeInfo:
     shard_servers: list[int]
     lengths: list[int]
     shard_len: int
+    # Coding group this stripe belongs to, fixed at formation time.  A
+    # rehomed shard can temporarily live off-group, so the group identity
+    # must not be re-derived from ``shard_servers``.
+    group_id: int = -1
     # The exact (padded) data-shard payloads the parity currently encodes.
     # This is the read-before-overwrite baseline a real implementation gets
     # for free by reading the old object during a read-modify-write; here
@@ -105,6 +109,10 @@ class StripeInfo:
     # failure reconstruction always decodes from the physically stored
     # shards.  ``None`` entries are vacant (all-zero) slots.
     baseline: list = field(default_factory=list, repr=False, compare=False)
+
+    # Back-reference to the owning MetadataDirectory (set by
+    # ``register_stripe``); mutations route index updates through it.
+    _dir = None
 
     def data_servers(self) -> list[int]:
         return self.shard_servers[: self.k]
@@ -140,6 +148,31 @@ class StripeInfo:
         """True when every data slot is vacant (stripe can be reclaimed)."""
         return all(mk is None for mk in self.members)
 
+    # --- index-maintaining mutations ---------------------------------
+    # All placement changes go through these so the directory's reverse
+    # indexes (server -> stripes, group -> vacant stripes) stay exact.
+
+    def retarget_shard(self, shard_index: int, server: int) -> None:
+        """Move shard ``shard_index`` (data or parity) to ``server``."""
+        old = self.shard_servers[shard_index]
+        self.shard_servers[shard_index] = server
+        if self._dir is not None:
+            self._dir._stripe_retargeted(self, old, server)
+
+    def fill_slot(self, slot: int, entity_key: tuple[str, int], server: int) -> None:
+        """Occupy vacant data slot ``slot`` with ``entity_key`` on ``server``."""
+        old = self.shard_servers[slot]
+        self.members[slot] = entity_key
+        self.shard_servers[slot] = server
+        if self._dir is not None:
+            self._dir._stripe_slot_filled(self, old, server)
+
+    def vacate_slot(self, slot: int) -> None:
+        """Empty data slot ``slot``; the placeholder server stays behind."""
+        self.members[slot] = None
+        if self._dir is not None:
+            self._dir._stripe_slot_vacated(self)
+
 
 @dataclass
 class BlockEntity:
@@ -169,6 +202,22 @@ class BlockEntity:
     digest: str = ""              # blake2b of the current payload
     transition_in_flight: bool = False  # async promote/demote already queued
     replica_bytes_accounted: int = 0    # logical replica bytes in the accountant
+    seq: int = -1                 # directory insertion order (stable sort key)
+
+    # Back-reference to the owning MetadataDirectory (set by
+    # ``get_or_create``); placement/state writes notify it so the reverse
+    # indexes track every mutation, wherever it happens.
+    _dir = None
+    _indexed_attrs = frozenset(("primary", "state", "replicas"))
+
+    def __setattr__(self, name: str, value) -> None:
+        d = self._dir
+        if d is not None and name in self._indexed_attrs:
+            old = getattr(self, name)
+            object.__setattr__(self, name, value)
+            d._entity_index_update(self, name, old, value)
+        else:
+            object.__setattr__(self, name, value)
 
     @property
     def key(self) -> tuple[str, int]:

@@ -115,7 +115,6 @@ class StagingService:
         )
         self.domain = Domain(config.domain_shape, block_shape, config.element_bytes)
         self.index = SpatialIndex(self.domain, config.n_servers, scheme=config.index_scheme)
-        self.directory = MetadataDirectory(self.domain, config.n_servers)
         self.layout = GroupLayout(
             self.cluster,
             n_level=config.n_level,
@@ -123,6 +122,7 @@ class StagingService:
             m=config.n_level,
             topology_aware=config.topology_aware,
         )
+        self.directory = MetadataDirectory(self.domain, config.n_servers, layout=self.layout)
         self.codec = StripeCodec(config.k, config.n_level, config.rs_construction)
         self.runtime = StagingRuntime(
             sim=self.sim,
@@ -160,6 +160,10 @@ class StagingService:
         reg.gauge("coding_batch.largest_flush", lambda: batch.largest_flush)
         reg.gauge("eventlog.len", lambda: len(self.log))
         reg.gauge("eventlog.dropped", lambda: self.log.dropped)
+        stats = self.directory.op_stats
+        reg.gauge("directory.entity_touches", lambda: stats["entity_touches"])
+        reg.gauge("directory.stripe_touches", lambda: stats["stripe_touches"])
+        reg.gauge("directory.full_scans", lambda: stats["full_scans"])
 
     # ------------------------------------------------------------------
     # synthetic payloads
@@ -436,9 +440,7 @@ class StagingService:
         if ent.state == ResilienceState.ENCODED and ent.stripe is not None:
             stripe = ent.stripe
             slot = stripe.member_shard_index(ent.key)
-            members = self.layout.coding_group_members(
-                self.layout.coding_group_id(stripe.shard_servers[0])
-            )
+            members = self.layout.coding_group_members(stripe.group_id)
             # Occupancy counts real shards only: a vacant slot's placeholder
             # server holds no bytes, and counting it here starves ``free``
             # and doubles two live data shards onto one server (a single
@@ -454,7 +456,7 @@ class StagingService:
             new_primary = free[0] if free else min(
                 alive, key=lambda s: (self.servers[s].workload_level(), s)
             )
-            stripe.shard_servers[slot] = new_primary
+            stripe.retarget_shard(slot, new_primary)
             ent.primary = new_primary
             return
         if ent.state == ResilienceState.PENDING_STRIPE:

@@ -108,6 +108,11 @@ class TimeSeries:
         if len(t) == 0:
             return out
         idx = np.searchsorted(edges, t, side="right") - 1
+        if len(edges) > 1:
+            # Buckets are half-open [e_i, e_i+1) except the last, which is
+            # closed: a sample landing exactly on the final edge belongs to
+            # the last bucket instead of silently falling out of range.
+            idx[t == edges[-1]] = len(edges) - 2
         for b in range(len(edges) - 1):
             sel = idx == b
             if sel.any():

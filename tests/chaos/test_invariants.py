@@ -202,6 +202,54 @@ class TestParityIntegrity:
         assert violations_of(svc, "parity_integrity") == []
 
 
+class TestReverseIndexes:
+    def test_clean_on_healthy_service(self, healthy):
+        assert violations_of(healthy, "reverse_indexes") == []
+
+    def test_tampered_primary_index_flagged(self):
+        svc = quiesced_service()
+        d = svc.directory
+        key = next(iter(d.entities))
+        d.entities_by_primary[d.entities[key].primary].discard(key)
+        found = violations_of(svc, "reverse_indexes")
+        assert found and "entities_by_primary" in found[0].detail
+
+    def test_raw_shard_servers_mutation_flagged(self):
+        # Bypassing StripeInfo.retarget_shard leaves the stripes_by_server
+        # index stale; the cross-check must notice.
+        svc = quiesced_service()
+        stripe = next(iter(svc.directory.stripes.values()))
+        fresh = next(
+            s for s in range(svc.config.n_servers)
+            if s not in stripe.shard_servers
+        )
+        stripe.shard_servers[stripe.k] = fresh
+        found = violations_of(svc, "reverse_indexes")
+        assert found and "stripes_by_server" in found[0].detail
+
+    def test_stale_state_set_flagged(self):
+        svc = quiesced_service()
+        d = svc.directory
+        ent = next(iter(d.entities.values()))
+        # Plant the key in a state set it does not belong to.
+        wrong = next(s for s in ResilienceState if s != ent.state)
+        d.entities_by_state[wrong].add(ent.key)
+        found = violations_of(svc, "reverse_indexes")
+        assert found and "entities_by_state" in found[0].detail
+
+    def test_stale_vacant_entry_flagged(self):
+        svc = quiesced_service()
+        d = svc.directory
+        full = next(
+            (s for s in d.stripes.values() if not s.vacant_slots()), None
+        )
+        if full is None:
+            pytest.skip("no fully-occupied stripe in the fixture")
+        d.vacant_by_group.setdefault(full.group_id, set()).add(full.stripe_id)
+        found = violations_of(svc, "reverse_indexes")
+        assert found and "vacant_by_group" in found[0].detail
+
+
 class TestDigestAudit:
     def test_lost_entity_unrecoverable(self):
         svc = quiesced_service()

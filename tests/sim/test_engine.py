@@ -363,6 +363,53 @@ class TestConditions:
         with pytest.raises(ValueError):
             ConditionEvent(sim, [sim.timeout(1)], count=2)
 
+    def test_any_of_detaches_from_losing_event(self):
+        # Regression: a settled condition must drop its callback from
+        # non-winning children.  Repeatedly racing an AnyOf against a
+        # long-lived event used to grow that event's callback list without
+        # bound (one dead closure per race).
+        sim = Simulator()
+        never = sim.event()
+
+        def race():
+            yield AnyOf(sim, [never, sim.timeout(1)])
+
+        for _ in range(5):
+            sim.process(race())
+        sim.run()
+        assert never.callbacks == []
+
+    def test_failed_condition_detaches_from_children(self):
+        sim = Simulator()
+        survivor = sim.timeout(10)
+
+        def failing():
+            yield sim.timeout(1)
+            raise ValueError("boom")
+
+        def waiter():
+            try:
+                yield AllOf(sim, [sim.process(failing()), survivor])
+            except ValueError:
+                pass
+
+        sim.process(waiter())
+        sim.run(until=2)
+        assert survivor.callbacks == []
+
+    def test_detached_condition_still_delivers_result(self):
+        sim = Simulator()
+        never = sim.event()
+        got = []
+
+        def race():
+            result = yield AnyOf(sim, [never, sim.timeout(3, value="t")])
+            got.append(sorted(result.values()))
+
+        sim.process(race())
+        sim.run()
+        assert got == [["t"]]
+
 
 class TestReentrancy:
     def test_run_is_not_reentrant(self):

@@ -106,6 +106,39 @@ class TestBBoxIntersection:
         assert u.contains(a) and u.contains(b)
 
 
+class TestCorners:
+    def test_full_rank_box_has_2_to_the_ndim(self):
+        b = BBox((0, 0), (4, 8))
+        cs = b.corners()
+        assert sorted(cs) == [(0, 0), (0, 7), (3, 0), (3, 7)]
+
+    def test_one_wide_dims_are_not_duplicated(self):
+        # A size-1 dimension has coincident first/last cells; the old
+        # implementation emitted each corner twice per such dimension.
+        b = BBox((2, 0), (3, 5))
+        cs = b.corners()
+        assert len(cs) == len(set(cs))
+        assert sorted(cs) == [(2, 0), (2, 4)]
+
+    def test_unit_box_single_corner(self):
+        assert BBox((7,), (8,)).corners() == [(7,)]
+        assert BBox((1, 2, 3), (2, 3, 4)).corners() == [(1, 2, 3)]
+
+    def test_empty_box_has_no_corners(self):
+        assert BBox((0,), (0,)).corners() == []
+        assert BBox((0, 3), (4, 3)).corners() == []
+
+    @given(bbox_strategy())
+    def test_corners_distinct_and_contained(self, b):
+        cs = b.corners()
+        assert len(cs) == len(set(cs))
+        if b.is_empty:
+            assert cs == []
+        else:
+            for c in cs:
+                assert b.contains_point(c)
+
+
 class TestBBoxSplit:
     def test_split(self):
         b = BBox((0, 0), (4, 4))

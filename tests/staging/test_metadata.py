@@ -69,6 +69,110 @@ class TestStripeRegistry:
         d.drop_stripe(0)  # idempotent
 
 
+class TestReverseIndexes:
+    def test_create_indexes_primary_and_state(self):
+        d = make_dir()
+        e = d.get_or_create("v", 0, primary=2)
+        assert ("v", 0) in d.entities_by_primary[2]
+        assert ("v", 0) in d.entities_by_state[ResilienceState.NONE]
+        assert e.seq == 0
+        assert d.get_or_create("v", 1, primary=2).seq == 1
+
+    def test_primary_move_updates_index(self):
+        d = make_dir()
+        e = d.get_or_create("v", 0, primary=1)
+        e.primary = 3
+        assert ("v", 0) not in d.entities_by_primary.get(1, set())
+        assert ("v", 0) in d.entities_by_primary[3]
+        assert d.entities_on_server(1) == []
+        assert d.entities_on_server(3) == [e]
+
+    def test_state_change_moves_between_sets(self):
+        d = make_dir()
+        e = d.get_or_create("v", 0, 0)
+        e.state = ResilienceState.REPLICATED
+        e.state = ResilienceState.ENCODED
+        assert ("v", 0) not in d.entities_by_state[ResilienceState.REPLICATED]
+        assert ("v", 0) in d.entities_by_state[ResilienceState.ENCODED]
+
+    def test_replica_list_reassignment_diffs_servers(self):
+        d = make_dir()
+        e = d.get_or_create("v", 0, 0)
+        e.replicas = [1, 2]
+        e.replicas = [2, 3]
+        assert ("v", 0) not in d.replicas_by_server.get(1, set())
+        assert ("v", 0) in d.replicas_by_server[2]
+        assert ("v", 0) in d.replicas_by_server[3]
+        e.replicas = []
+        assert all(("v", 0) not in s for s in d.replicas_by_server.values())
+
+    def test_consumer_apis_preserve_insertion_order(self):
+        d = make_dir()
+        # Insert out of block order; seq order must win over key order.
+        for bid in (3, 0, 2):
+            d.get_or_create("v", bid, primary=1)
+        assert [e.block_id for e in d.entities_on_server(1)] == [3, 0, 2]
+        assert [e.block_id for e in d.entities_in_state(ResilienceState.NONE)] == [3, 0, 2]
+
+    def test_register_stripe_indexes_all_shard_servers(self):
+        d = make_dir()
+        s = StripeInfo(0, 2, 1, [("v", 0), ("v", 1)], {}, [0, 1, 2], [4, 4], 4,
+                       group_id=0)
+        d.register_stripe(s)
+        for srv in (0, 1, 2):
+            assert 0 in d.stripes_by_server[srv]
+        assert d.vacant_by_group.get(0, set()) == set()  # no vacant slots
+        d.drop_stripe(0)
+        assert all(0 not in ids for ids in d.stripes_by_server.values())
+        assert s._dir is None
+
+    def test_vacate_fill_cycle_maintains_free_list(self):
+        d = make_dir()
+        s = StripeInfo(1, 2, 1, [("v", 0), ("v", 1)], {}, [0, 1, 2], [4, 4], 4,
+                       group_id=5)
+        d.register_stripe(s)
+        s.vacate_slot(0)
+        assert 1 in d.vacant_by_group[5]
+        assert [st.stripe_id for st in d.vacant_stripes(5)] == [1]
+        s.fill_slot(0, ("w", 9), 3)
+        assert 1 not in d.vacant_by_group[5]
+        # The placeholder server 0 held no other slot, so it is dropped
+        # while the new server 3 is picked up.
+        assert 1 not in d.stripes_by_server.get(0, set())
+        assert 1 in d.stripes_by_server[3]
+
+    def test_retarget_keeps_server_with_remaining_slot(self):
+        d = make_dir()
+        # Server 0 holds both slot 0 and the parity slot.
+        s = StripeInfo(2, 2, 1, [("v", 0), ("v", 1)], {}, [0, 1, 0], [4, 4], 4,
+                       group_id=0)
+        d.register_stripe(s)
+        s.retarget_shard(0, 3)
+        # Server 0 still holds the parity, so it must stay indexed.
+        assert 2 in d.stripes_by_server[0]
+        assert 2 in d.stripes_by_server[3]
+        s.retarget_shard(2, 1)
+        assert 2 not in d.stripes_by_server.get(0, set())
+
+    def test_partial_stripe_registered_on_free_list(self):
+        d = make_dir()
+        s = StripeInfo(3, 2, 1, [("v", 0), None], {}, [0, 1, 2], [4, 0], 4,
+                       group_id=7)
+        d.register_stripe(s)
+        assert 3 in d.vacant_by_group[7]
+
+    def test_op_stats_count_index_reads(self):
+        d = make_dir()
+        for bid in range(4):
+            d.get_or_create("v", bid, primary=bid % 2)
+        before = d.op_stats["entity_touches"]
+        d.entities_on_server(0)
+        assert d.op_stats["entity_touches"] == before + 2
+        assert d.op_stats["full_scans"] == 0
+        d.storage_breakdown()
+        assert d.op_stats["full_scans"] == 1
+
+
 class TestStorageBreakdown:
     def test_empty(self):
         d = make_dir()

@@ -193,6 +193,25 @@ class TestReport:
         assert out[0]["policy"] == "corec"
 
 
+class TestScale:
+    def test_small_sweep_json(self, capsys):
+        rc = main(
+            ["--json", "scale", "--servers", "4",
+             "--blocks-per-server", "4", "--timesteps", "2"]
+        )
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert len(out["sweep"]) == 1
+        row = out["sweep"][0]
+        assert row["n_servers"] == 4
+        assert row["full_scans_during_failure"] == 0
+        assert out["bound_violations"] == []
+
+    def test_rejects_bad_server_count(self):
+        with pytest.raises(ValueError):
+            main(["scale", "--servers", "5"])
+
+
 class TestDurabilityCommand:
     def test_durability_json(self, capsys):
         rc = main([
