@@ -1,0 +1,193 @@
+"""Live backend scaling benchmark: real clients against the TCP server.
+
+Measures put/get throughput and latency percentiles as a function of
+client count.  Clients are *subprocesses* (spawn), not threads — each
+client serializes, frames and parses on its own core, so the measured
+scaling reflects the server's event-loop concurrency rather than the
+clients fighting over one GIL.
+
+Methodology: one fresh server per client count; every client connects,
+warms up, reports ready, then all clients are released together and the
+measured window is ``max(client end) - min(client begin)`` (epoch
+timestamps taken inside the clients) — interpreter spawn time never
+pollutes the throughput.  Each put streams 64 KiB over the socket.
+
+The server runs with ``time_scale=1.0``: the paper's cost model paces
+every storage/transfer action in real time (a 64 KiB put costs ~6 ms of
+modeled service latency), exactly like a staging service reached over a
+real fabric.  A single client is therefore latency-bound, and the
+scaling measured here is the event loop genuinely overlapping in-flight
+operations from concurrent clients across that latency — the concurrency
+the live backend exists to provide.  (At ``time_scale=0`` every op
+collapses to pure Python event-machinery CPU on the loop thread, which
+on a single-core container cannot scale with client count by
+construction; that mode measures the request path's CPU floor, not
+concurrency.)
+
+Emits ``benchmarks/BENCH_live.json`` and enforces the scaling floor:
+8-client aggregate put throughput at least 2x a single client's.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_live.py``
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import sys
+import time
+
+import numpy as np
+
+CLIENT_COUNTS = [1, 2, 4, 8]
+OPS_PER_CLIENT = 250
+WARMUP_OPS = 10
+PAYLOAD_SHAPE = (64, 64, 16)  # 64 KiB per put at 1-byte elements
+GET_EVERY = 4  # one read-back per this many puts
+TIME_SCALE = 1.0  # modeled pacing in real time (see module docstring)
+OUT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_live.json")
+MIN_SCALING_8C = 2.0
+
+
+def server_config():
+    from repro import StagingConfig
+
+    return StagingConfig(
+        n_servers=8,
+        domain_shape=(64, 64, 16),
+        element_bytes=1,
+        object_max_bytes=65536,
+        seed=1,
+    )
+
+
+def client_proc(host: str, port: int, idx: int, ops: int, ready_q, go, out_q) -> None:
+    """One load-generating client (runs in its own process)."""
+    from repro.live import LiveClient
+
+    rng = np.random.default_rng(900 + idx)
+    var = f"bench{idx}"
+    # Pre-generate payloads so data synthesis never sits in the timed loop.
+    payloads = [
+        rng.integers(0, 256, size=PAYLOAD_SHAPE, dtype=np.uint8).ravel()
+        for _ in range(8)
+    ]
+    put_lat: list[float] = []
+    get_lat: list[float] = []
+    with LiveClient(host, port, name=f"bench{idx}", timeout=300.0) as cli:
+        for op in range(WARMUP_OPS):
+            cli.put(var, (0, 0, 0), PAYLOAD_SHAPE, payloads[op % len(payloads)])
+        ready_q.put(idx)
+        go.wait()
+        t_begin = time.time()
+        for op in range(ops):
+            t0 = time.perf_counter()
+            cli.put(var, (0, 0, 0), PAYLOAD_SHAPE, payloads[op % len(payloads)])
+            put_lat.append(time.perf_counter() - t0)
+            if op % GET_EVERY == GET_EVERY - 1:
+                t0 = time.perf_counter()
+                cli.get(var, (0, 0, 0), PAYLOAD_SHAPE)
+                get_lat.append(time.perf_counter() - t0)
+        t_end = time.time()
+    out_q.put((idx, t_begin, t_end, put_lat, get_lat))
+
+
+def percentiles(lat: list[float]) -> dict:
+    if not lat:
+        return {"n": 0}
+    arr = np.asarray(lat)
+    return {
+        "n": int(arr.size),
+        "mean_ms": float(arr.mean() * 1e3),
+        "p50_ms": float(np.percentile(arr, 50) * 1e3),
+        "p95_ms": float(np.percentile(arr, 95) * 1e3),
+        "p99_ms": float(np.percentile(arr, 99) * 1e3),
+        "max_ms": float(arr.max() * 1e3),
+    }
+
+
+def run_point(n_clients: int) -> dict:
+    from repro.core.corec import CoRECPolicy
+    from repro.live import serve_in_thread
+
+    handle = serve_in_thread(server_config(), CoRECPolicy, time_scale=TIME_SCALE)
+    ctx = mp.get_context("spawn")
+    ready_q = ctx.Queue()
+    out_q = ctx.Queue()
+    go = ctx.Event()
+    try:
+        procs = [
+            ctx.Process(
+                target=client_proc,
+                args=(handle.host, handle.port, i, OPS_PER_CLIENT, ready_q, go, out_q),
+            )
+            for i in range(n_clients)
+        ]
+        for p in procs:
+            p.start()
+        for _ in procs:
+            ready_q.get(timeout=300)  # every client connected and warm
+        go.set()
+        results = [out_q.get(timeout=600) for _ in procs]
+        for p in procs:
+            p.join(timeout=60)
+            if p.is_alive():  # pragma: no cover - watchdog
+                p.terminate()
+                raise RuntimeError("bench client hung")
+    finally:
+        handle.stop()
+    window = max(r[2] for r in results) - min(r[1] for r in results)
+    put_lat = [x for r in results for x in r[3]]
+    get_lat = [x for r in results for x in r[4]]
+    payload_bytes = int(np.prod(PAYLOAD_SHAPE))
+    total_puts = len(put_lat)
+    return {
+        "clients": n_clients,
+        "window_s": window,
+        "put_ops_per_s": total_puts / window,
+        "put_MB_per_s": total_puts * payload_bytes / 1e6 / window,
+        "put": percentiles(put_lat),
+        "get": percentiles(get_lat),
+    }
+
+
+def main() -> int:
+    rows = []
+    for n in CLIENT_COUNTS:
+        row = run_point(n)
+        rows.append(row)
+        print(
+            f"{row['clients']:>2} clients: {row['put_ops_per_s']:8.1f} puts/s "
+            f"({row['put_MB_per_s']:7.1f} MB/s)  "
+            f"put p95 {row['put']['p95_ms']:7.2f} ms  "
+            f"p99 {row['put']['p99_ms']:7.2f} ms  "
+            f"get p95 {row['get'].get('p95_ms', float('nan')):7.2f} ms"
+        )
+    base = rows[0]["put_ops_per_s"]
+    top = next(r for r in rows if r["clients"] == max(CLIENT_COUNTS))
+    scaling = top["put_ops_per_s"] / base
+    payload = {
+        "config": {
+            "payload_bytes": int(np.prod(PAYLOAD_SHAPE)),
+            "ops_per_client": OPS_PER_CLIENT,
+            "warmup_ops": WARMUP_OPS,
+            "client_counts": CLIENT_COUNTS,
+            "time_scale": TIME_SCALE,
+            "policy": "corec",
+        },
+        "rows": rows,
+        "scaling_8c_over_1c": scaling,
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"\n{max(CLIENT_COUNTS)}-client/1-client put scaling: {scaling:.2f}x "
+          f"(floor {MIN_SCALING_8C}x) -> {OUT_PATH}")
+    if scaling < MIN_SCALING_8C:
+        print("FAIL: live backend does not scale with client count", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

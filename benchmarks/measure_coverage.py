@@ -1,0 +1,74 @@
+"""Stdlib-only line-coverage measurement for the tier-1 suite.
+
+CI measures coverage with pytest-cov (see ``.github/workflows/ci.yml``);
+this script exists so the ``--cov-fail-under`` floor can be chosen and
+re-validated on machines where coverage.py is not installed.  It traces
+line events for ``src/repro`` only (every other frame opts out, so numpy
+and pytest internals run untraced) and derives the executable-line
+denominator from compiled code objects — the same universe coverage.py
+uses, minus its branch/exclusion refinements, so expect this number to
+read within a point or two of pytest-cov's.
+
+Run: ``PYTHONPATH=src python benchmarks/measure_coverage.py [pytest args]``
+"""
+
+from __future__ import annotations
+
+import dis
+import glob
+import os
+import sys
+import threading
+import types
+
+SRC_MARKER = os.sep + os.path.join("src", "repro") + os.sep
+executed: dict[str, set[int]] = {}
+
+
+def _tracer(frame, event, arg):
+    fn = frame.f_code.co_filename
+    if SRC_MARKER not in fn:
+        return None  # opt this frame (and its lines) out entirely
+    if event == "line":
+        executed.setdefault(fn, set()).add(frame.f_lineno)
+    return _tracer
+
+
+def _code_lines(co: types.CodeType) -> set[int]:
+    lines = {line for _, line in dis.findlinestarts(co) if line}
+    for const in co.co_consts:
+        if isinstance(const, types.CodeType):
+            lines |= _code_lines(const)
+    return lines
+
+
+def main() -> int:
+    import pytest
+
+    threading.settrace(_tracer)
+    sys.settrace(_tracer)
+    rc = pytest.main(["-q", "-p", "no:cacheprovider", *sys.argv[1:]])
+    sys.settrace(None)
+    threading.settrace(None)  # type: ignore[arg-type]
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    rows = []
+    total = hit = 0
+    for path in sorted(glob.glob(os.path.join(repo, "src", "repro", "**", "*.py"), recursive=True)):
+        with open(path, encoding="utf-8") as fh:
+            co = compile(fh.read(), os.path.abspath(path), "exec")
+        lines = _code_lines(co)
+        got = executed.get(os.path.abspath(path), set())
+        total += len(lines)
+        hit += len(lines & got)
+        rel = os.path.relpath(path, repo)
+        pct = 100.0 * len(lines & got) / len(lines) if lines else 100.0
+        rows.append((pct, rel, len(lines & got), len(lines)))
+    for pct, rel, h, n in sorted(rows):
+        print(f"{pct:6.1f}%  {h:5d}/{n:<5d}  {rel}")
+    print(f"\nTOTAL: {hit}/{total} executable lines = {100.0 * hit / total:.1f}%")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

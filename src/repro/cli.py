@@ -346,6 +346,83 @@ def cmd_scale(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def cmd_live(args: argparse.Namespace) -> int:
+    """Serve the live (wall-clock, concurrent) staging backend over TCP.
+
+    Default mode serves in the foreground until a ``shutdown`` frame or
+    Ctrl-C.  ``--smoke`` instead runs the server on a background thread,
+    drives a small client workload through the real socket path, prints
+    the resulting stats and exits — the self-contained health check CI
+    runs on every push.
+    """
+    from repro import StagingConfig
+
+    config = StagingConfig(
+        n_servers=args.servers,
+        domain_shape=tuple(args.domain),
+        element_bytes=args.element_bytes,
+        object_max_bytes=args.object_bytes,
+        async_protection=args.async_protection,
+        seed=args.seed,
+    )
+
+    def policy_factory():
+        return _make_policy(args.policy, args.storage_bound, args.seed)
+
+    if args.smoke:
+        from repro.live import LiveClient, serve_in_thread
+
+        handle = serve_in_thread(
+            config, policy_factory, host=args.host, port=args.port,
+            time_scale=args.time_scale,
+        )
+        try:
+            with LiveClient(handle.host, handle.port, name="smoke") as cli:
+                for step in range(3):
+                    for v in range(2):
+                        cli.put(f"var{v}", (0, 0, 0), tuple(args.domain))
+                    cli.step()
+                _, blocks = cli.get("var0", (0, 0, 0), tuple(args.domain))
+                cli.flush()
+                cli.quiesce()
+                audit = cli.verify()
+                stats = cli.stats()
+            _emit(
+                {
+                    "host": handle.host,
+                    "port": handle.port,
+                    "blocks_read": len(blocks),
+                    **stats,
+                    "unrecoverable": audit["unrecoverable"],
+                },
+                args,
+            )
+            return 0 if not audit["unrecoverable"] else 1
+        finally:
+            handle.stop()
+
+    import asyncio
+
+    from repro.live import LiveServer, LiveStagingService
+
+    async def serve() -> None:
+        live = LiveStagingService(
+            config, policy_factory(), time_scale=args.time_scale,
+            max_workers=args.workers,
+        )
+        server = LiveServer(live)
+        host, port = await server.start(args.host, args.port)
+        print(f"live staging server on {host}:{port} "
+              f"({args.servers} servers, policy={args.policy})", file=sys.stderr)
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0
+
+
 def cmd_model(args: argparse.Namespace) -> int:
     from repro.core.model import CoRECModel, ModelParams
 
@@ -480,6 +557,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_scale.add_argument("--no-assert", action="store_true",
                          help="report only; do not enforce the complexity bounds")
     p_scale.set_defaults(func=cmd_scale)
+
+    p_live = sub.add_parser(
+        "live", help="serve the live concurrent staging backend over TCP"
+    )
+    p_live.add_argument("--host", default="127.0.0.1")
+    p_live.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 picks a free one)")
+    p_live.add_argument("--policy", default="corec",
+                        choices=["none", "replicate", "erasure", "hybrid", "corec"])
+    p_live.add_argument("--storage-bound", type=float, default=0.67)
+    p_live.add_argument("--servers", type=int, default=8)
+    p_live.add_argument("--domain", type=int, nargs=3, default=[64, 64, 32])
+    p_live.add_argument("--element-bytes", type=int, default=1)
+    p_live.add_argument("--object-bytes", type=int, default=4096)
+    p_live.add_argument("--seed", type=int, default=1)
+    p_live.add_argument("--async-protection", action="store_true")
+    p_live.add_argument("--time-scale", type=float, default=0.0,
+                        help="wall seconds per modeled second (0: run flat out)")
+    p_live.add_argument("--workers", type=int, default=None,
+                        help="codec offload thread pool size")
+    p_live.add_argument("--smoke", action="store_true",
+                        help="serve on a thread, run a client workload, exit")
+    p_live.set_defaults(func=cmd_live)
 
     p_model = sub.add_parser("model", help="evaluate the Section II-D model")
     p_model.add_argument("--s", type=float, default=0.67)

@@ -37,12 +37,11 @@ from typing import Callable, Generator, Sequence
 
 import numpy as np
 
+from repro.core.backend import Clock, Transport
 from repro.erasure.batch import CodingBatch
 from repro.erasure.gf256 import GF256
 from repro.erasure.reedsolomon import StripeCodec
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.sim.engine import Simulator
-from repro.sim.network import Network
 from repro.sim.resources import Resource
 from repro.staging.metadata import MetadataDirectory
 from repro.staging.objects import BlockEntity, ResilienceState, StripeInfo
@@ -73,8 +72,8 @@ class StagingRuntime:
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        sim: Clock,
+        network: Transport,
         servers: Sequence[StagingServer],
         directory: MetadataDirectory,
         layout: GroupLayout,
@@ -101,6 +100,12 @@ class StagingRuntime:
         # bit-identical stripes and identical event traces.
         self.batch_coding = True
         self.coding_batch = CodingBatch(codec.code, tracer=self.tracer)
+        # Host-compute offload hook.  ``None`` (the simulator default)
+        # runs numeric work inline with zero extra events, so sim traces
+        # and goldens are untouched.  The live backend installs a function
+        # ``fn -> Event`` that runs ``fn`` on a worker thread off the
+        # event loop and fires the event with its result.
+        self.compute_offload: Callable[[Callable[[], object]], object] | None = None
         # Pending (not yet striped) entities per coding group, keyed by the
         # primary server each entity would contribute a data shard from.
         self.pending: dict[int, dict[int, list[EntityKey]]] = {}
@@ -177,6 +182,28 @@ class StagingRuntime:
         if self.alive(owner):
             yield from self.busy(owner, self.costs.metadata_op_s, "metadata")
         self.metrics.count("metadata_updates")
+
+    def compute(self, fn: Callable[[], object], exclusive: bool = True) -> Generator:
+        """Run host-side numeric work (``yield from`` this at a yield point).
+
+        On the simulator this is a plain call — the generator completes
+        without yielding, so the event sequence is identical to calling
+        ``fn()`` inline and golden traces are unaffected.  On the live
+        backend ``compute_offload`` is installed and the work runs on a
+        worker thread, keeping GF(2^8) kernel passes off the event loop.
+        Only legal where the calling flow may yield; atomic (no-yield)
+        mutation sections must keep their numeric work inline.
+
+        ``exclusive=True`` (the default) marks work that touches shared
+        codec state (decode-matrix cache, coding batch) and must be
+        serialized across worker threads.  Pure functions of their inputs
+        — digests, standalone kernel math on private buffers — pass
+        ``exclusive=False`` and may run fully in parallel.
+        """
+        if self.compute_offload is not None:
+            result = yield self.compute_offload(fn, exclusive)
+            return result
+        return fn()
 
     def _encode_stripe(self, payloads: Sequence[np.ndarray]) -> list[np.ndarray]:
         """Compute one stripe's parities through the batched coding path.
@@ -570,7 +597,7 @@ class StagingRuntime:
         yield from self.busy(exec_sid, self.costs.encode_cost(k, m, shard_len), "encode")
         if self.tracer.enabled:
             calls0 = GF256.KERNEL_STATS["matmul_calls"]
-        parities = self._encode_stripe(payloads)
+        parities = yield from self.compute(lambda: self._encode_stripe(payloads))
         if self.tracer.enabled:
             self.tracer.annotate(
                 executor=exec_sid,
@@ -954,7 +981,7 @@ class StagingRuntime:
         yield from self.busy(
             exec_sid, self.costs.encode_cost(stripe.k, stripe.m, stripe.shard_len), "encode"
         )
-        parities = self._encode_stripe(shards)
+        parities = yield from self.compute(lambda: self._encode_stripe(shards))
         staged: list[tuple[StagingServer, str, np.ndarray]] = []
         for i, parity in enumerate(parities):
             psid = stripe.shard_servers[stripe.k + i]
@@ -1301,7 +1328,7 @@ class StagingRuntime:
         if self.tracer.enabled:
             hits0, misses0 = code.decode_cache_hits, code.decode_cache_misses
             calls0 = GF256.KERNEL_STATS["matmul_calls"]
-        payload = code.reconstruct_shard(present, target_idx)
+        payload = yield from self.compute(lambda: code.reconstruct_shard(present, target_idx))
         if self.tracer.enabled:
             self.tracer.annotate(
                 executor=exec_sid,

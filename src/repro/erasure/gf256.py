@@ -33,6 +33,7 @@ everything else is setup cost.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import OrderedDict
 
@@ -98,16 +99,20 @@ def _build_kernel_tables(
 # ---------------------------------------------------------------------------
 # scratch buffers (grow-only, reused across kernel calls)
 # ---------------------------------------------------------------------------
-# The simulator is single-threaded, so one shared scratch pool per dtype is
-# safe and removes all steady-state allocations from the hot kernels.
-_SCRATCH: dict[str, np.ndarray] = {}
+# One scratch pool per *thread*, so steady-state kernel calls allocate
+# nothing while staying safe when the live backend offloads encodes to a
+# worker thread concurrently with parity delta-updates on the event loop.
+_SCRATCH = threading.local()
 
 
 def _scratch(name: str, size: int, dtype) -> np.ndarray:
-    buf = _SCRATCH.get(name)
+    pool = getattr(_SCRATCH, "pool", None)
+    if pool is None:
+        pool = _SCRATCH.pool = {}
+    buf = pool.get(name)
     if buf is None or buf.size < size:
         buf = np.empty(size, dtype=dtype)
-        _SCRATCH[name] = buf
+        pool[name] = buf
     return buf[:size]
 
 

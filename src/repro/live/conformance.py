@@ -1,0 +1,336 @@
+"""Differential sim-vs-live conformance harness.
+
+The live backend's correctness claim is *state equivalence*: the same
+seeded workload, driven through the simulator and through the live
+engine, must leave the deployment in byte-identical shape — same object
+contents, same directory and stripe metadata, same durability
+classifications.  Timing and costs are allowed (expected) to differ;
+placement, versions, digests and protection state are not.
+
+The harness has three parts:
+
+- seeded workload specs (:data:`WORKLOADS`): deterministic op tapes
+  (put/get/step/flush/fail/replace) over single-block regions, built
+  from a spec's seed alone;
+- two runners that play a tape on either backend with a **full drain
+  between ops** (sim: ``run_workflow`` + ``run()``; live: ``await`` +
+  ``quiesce()``), so both backends pass through the same sequence of
+  quiescent states — this is what makes lock-acquisition and background
+  protection ordering irrelevant to the comparison;
+- :func:`conformance_projection`: the timing-free projection of a
+  deployment's state that must match across backends (read payload
+  digests are compared per-op by the runners themselves).
+
+Determinism notes baked into the specs: ops touch one block at a time
+(multi-block requests fan out sibling processes whose *completion* order
+is timing-dependent; their final state is not, but single-block ops keep
+the read-back comparison trivially ordered), and the CoREC spec disables
+access promotions (a promotion races the background compaction scan in
+wall-clock time; with promotions off, classification depends only on the
+step counter, which both backends advance identically).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.corec import CoRECConfig, CoRECPolicy
+from repro.core.policies import ReplicationPolicy
+from repro.staging.objects import payload_digest
+from repro.staging.service import StagingConfig, StagingService
+
+__all__ = [
+    "WorkloadSpec",
+    "WORKLOADS",
+    "build_config",
+    "build_ops",
+    "make_policy",
+    "run_sim",
+    "run_live",
+    "conformance_projection",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One seeded differential workload: policy + op-tape parameters."""
+
+    name: str
+    policy: str  # "replicate" | "corec"
+    seed: int
+    n_vars: int = 2
+    n_blocks: int = 12  # distinct blocks touched (first N of the grid)
+    n_steps: int = 4
+    puts_per_step: int = 6
+    gets_per_step: int = 3
+    rewrite_fraction: float = 0.5
+    failures: tuple[tuple[int, int], ...] = ()  # (step, server) pairs
+    config_overrides: dict[str, Any] = field(default_factory=dict)
+
+
+WORKLOADS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        # Pure replication: exercises ingest, replica placement, redirect.
+        WorkloadSpec(name="replication-only", policy="replicate", seed=101),
+        # Hybrid CoREC: demotions, stripe formation, delta parity updates.
+        WorkloadSpec(
+            name="hybrid",
+            policy="corec",
+            seed=202,
+            n_blocks=16,
+            puts_per_step=8,
+            n_steps=5,
+        ),
+        # Failure injected mid-run, replacement next step: redirected
+        # writes, degraded reads, lazy sweep + rebalance all inside the
+        # comparison window.
+        WorkloadSpec(
+            name="failure-and-recover",
+            policy="corec",
+            seed=303,
+            n_blocks=16,
+            puts_per_step=8,
+            n_steps=5,
+            failures=((2, 3),),
+        ),
+    )
+}
+
+
+def build_config(spec: WorkloadSpec) -> StagingConfig:
+    """Small 8-server deployment (mirrors the test suite's default)."""
+    defaults: dict[str, Any] = dict(
+        n_servers=8,
+        domain_shape=(64, 64, 32),  # 32 blocks of 16^3 = one 4 KiB object each
+        element_bytes=1,
+        object_max_bytes=4096,
+        seed=1,
+    )
+    defaults.update(spec.config_overrides)
+    return StagingConfig(**defaults)
+
+
+def make_policy(spec: WorkloadSpec):
+    """Fresh policy instance for one run of ``spec`` (never shared)."""
+    if spec.policy == "replicate":
+        return ReplicationPolicy()
+    if spec.policy == "corec":
+        # Promotions react to *access order in wall-clock time*; disable
+        # them so hot/cold transitions depend only on the step counter.
+        return CoRECPolicy(
+            CoRECConfig(promote_on_access=False, max_promotions_per_step=0)
+        )
+    raise ValueError(f"unknown conformance policy {spec.policy!r}")
+
+
+def build_ops(spec: WorkloadSpec) -> list[tuple]:
+    """Deterministic op tape for ``spec`` (depends only on the spec).
+
+    Ops are tuples: ``("put", var, block)``, ``("get", var, block)``,
+    ``("step",)``, ``("flush",)``, ``("fail", sid)``, ``("replace", sid)``.
+    """
+    rng = np.random.default_rng(spec.seed)
+    variables = [f"var{v}" for v in range(spec.n_vars)]
+    written: list[tuple[str, int]] = []
+    fail_at = {step: sid for step, sid in spec.failures}
+    pending_replace: list[int] = []
+    ops: list[tuple] = []
+    for step in range(spec.n_steps):
+        for sid in pending_replace:
+            ops.append(("replace", sid))
+        pending_replace.clear()
+        for _ in range(spec.puts_per_step):
+            var = variables[int(rng.integers(len(variables)))]
+            if written and rng.random() < spec.rewrite_fraction:
+                var, block = written[int(rng.integers(len(written)))]
+            else:
+                block = int(rng.integers(spec.n_blocks))
+            ops.append(("put", var, block))
+            if (var, block) not in written:
+                written.append((var, block))
+        if step in fail_at:
+            ops.append(("fail", fail_at[step]))
+            pending_replace.append(fail_at[step])
+        for _ in range(spec.gets_per_step):
+            var, block = written[int(rng.integers(len(written)))]
+            ops.append(("get", var, block))
+        ops.append(("step",))
+    ops.append(("flush",))
+    # Read everything back at the end: every staged object must be
+    # servable on both backends with identical bytes.
+    for var, block in sorted(written):
+        ops.append(("get", var, block))
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# runners
+# ---------------------------------------------------------------------------
+def run_sim(spec: WorkloadSpec) -> tuple[dict, list[str]]:
+    """Play ``spec`` on the simulator; returns (projection, read digests)."""
+    svc = StagingService(build_config(spec), make_policy(spec))
+    reads: list[str] = []
+
+    def apply(op: tuple) -> None:
+        kind = op[0]
+        if kind == "put":
+            _, var, block = op
+            svc.run_workflow(svc.put("w", var, svc.domain.block_bbox(block)))
+        elif kind == "get":
+            _, var, block = op
+            box: list = []
+
+            def flow(v=var, b=block):
+                result = yield from svc.get("r", v, svc.domain.block_bbox(b))
+                box.append(result)
+
+            svc.run_workflow(flow())
+            _, payloads = box[0]
+            for bid in sorted(payloads):
+                reads.append(payload_digest(payloads[bid]))
+        elif kind == "step":
+            svc.run_workflow(svc.end_step())
+        elif kind == "flush":
+            svc.run_workflow(svc.flush())
+        elif kind == "fail":
+            svc.fail_server(op[1])
+        elif kind == "replace":
+            svc.replace_server(op[1])
+        else:  # pragma: no cover - tape bug
+            raise ValueError(f"unknown op {op!r}")
+        svc.run()  # drain all background work before the next op
+
+    for op in build_ops(spec):
+        apply(op)
+    svc.run()
+    return conformance_projection(svc), reads
+
+
+def run_live(spec: WorkloadSpec, **live_kwargs) -> tuple[dict, list[str]]:
+    """Play ``spec`` on the live backend; returns (projection, read digests)."""
+    from repro.live.service import LiveStagingService
+
+    async def main() -> tuple[dict, list[str]]:
+        live = LiveStagingService(build_config(spec), make_policy(spec), **live_kwargs)
+        reads: list[str] = []
+        try:
+            for op in build_ops(spec):
+                kind = op[0]
+                if kind == "put":
+                    _, var, block = op
+                    await live.put("w", var, live.domain.block_bbox(block))
+                elif kind == "get":
+                    _, var, block = op
+                    _, payloads = await live.get("r", var, live.domain.block_bbox(block))
+                    for bid in sorted(payloads):
+                        reads.append(payload_digest(payloads[bid]))
+                elif kind == "step":
+                    await live.end_step()
+                elif kind == "flush":
+                    await live.flush()
+                elif kind == "fail":
+                    live.fail_server(op[1])
+                elif kind == "replace":
+                    live.replace_server(op[1])
+                else:  # pragma: no cover - tape bug
+                    raise ValueError(f"unknown op {op!r}")
+                await live.quiesce()  # same quiescent-state sequence as sim
+            return conformance_projection(live.service), reads
+        finally:
+            await live.close()
+
+    return asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# projection
+# ---------------------------------------------------------------------------
+def conformance_projection(svc: StagingService) -> dict:
+    """Timing-free projection of deployment state for differential compare.
+
+    Everything here must be identical across backends at a quiescent
+    point: directory metadata, stripe geometry and membership, each
+    server's store contents (key → payload digest), pending-encode pools
+    and durability-relevant counters.  Clock readings, response times and
+    transfer stats are deliberately excluded.
+    """
+    entities = {}
+    for (name, block), ent in sorted(svc.directory.entities.items()):
+        entities[f"{name}/{block}"] = {
+            "version": ent.version,
+            "state": ent.state.value,
+            "primary": ent.primary,
+            "replicas": sorted(ent.replicas),
+            "stripe": None if ent.stripe is None else ent.stripe.stripe_id,
+            "digest": ent.digest,
+            "nbytes": ent.nbytes,
+        }
+    stripes = {}
+    for sid, stripe in sorted(svc.directory.stripes.items()):
+        stripes[sid] = {
+            "servers": list(stripe.shard_servers),
+            "members": [
+                None if mk is None else f"{mk[0]}/{mk[1]}" for mk in stripe.members
+            ],
+            "lengths": list(stripe.lengths),
+            "shard_len": stripe.shard_len,
+        }
+    servers = []
+    for srv in svc.servers:
+        servers.append(
+            {
+                "server": srv.server_id,
+                "failed": srv.failed,
+                "epoch": srv.epoch,
+                "store": {
+                    key: payload_digest(srv.store[key]) for key in sorted(srv.store)
+                },
+            }
+        )
+    pending = {
+        gid: {
+            srv: [f"{k[0]}/{k[1]}" for k in queue]
+            for srv, queue in sorted(group.items())
+            if queue
+        }
+        for gid, group in sorted(svc.runtime.pending.items())
+        if any(queue for queue in group.values())
+    }
+    storage = svc.metrics.storage
+    return {
+        "entities": entities,
+        "stripes": stripes,
+        "servers": servers,
+        "pending": pending,
+        "storage": {
+            "original": storage.original,
+            "replica": storage.replica,
+            "parity": storage.parity,
+        },
+        "read_errors": svc.read_errors,
+    }
+
+
+def diff_projections(a: dict, b: dict, prefix: str = "") -> list[str]:
+    """Human-readable list of paths where two projections differ."""
+    out: list[str] = []
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if key not in a:
+                out.append(f"{path}: only in live")
+            elif key not in b:
+                out.append(f"{path}: only in sim")
+            else:
+                out.extend(diff_projections(a[key], b[key], path))
+    elif isinstance(a, list) and isinstance(b, list):
+        if a != b:
+            out.append(f"{prefix}: {a!r} != {b!r}")
+    elif a != b:
+        out.append(f"{prefix}: {a!r} != {b!r}")
+    return out

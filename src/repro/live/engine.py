@@ -1,0 +1,272 @@
+"""Wall-clock scheduling engine: the live backend's :class:`~repro.core.backend.Clock`.
+
+The simulator's generator-process model (:mod:`repro.sim.engine`) touches
+its scheduler through exactly three primitives — ``event()``,
+``_schedule_event(event, delay)`` and ``_schedule_callback(cb, delay)`` —
+plus ``now``.  :class:`LiveEngine` implements those primitives on top of a
+running asyncio event loop, so the *same* ``Event`` / ``Timeout`` /
+``Process`` / condition classes and the same ``Resource`` locks drive every
+staging flow (replication, stripe formation, parity maintenance, recovery)
+under real concurrency, with no second copy of the mechanics.
+
+Key differences from the simulator:
+
+- ``now`` is the wall clock (monotonic seconds since engine start).
+- Modeled delays are scaled by ``time_scale`` (default ``0.0``: cost-model
+  timeouts fire immediately, so the engine runs as fast as the hardware
+  allows; a nonzero scale re-introduces modeled pacing for experiments).
+- ``offload(fn)`` runs host-side numeric work (GF(2^8) encode/decode
+  batches) on a :class:`~concurrent.futures.ThreadPoolExecutor` and
+  returns an :class:`~repro.sim.engine.Event` that fires on the loop when
+  the work completes — this is what :meth:`StagingRuntime.compute` yields
+  on in live mode, keeping kernel passes off the event loop.
+- ``quiesce()`` awaits full drain (no scheduled actions, no in-flight
+  offloads) — the live analogue of ``Simulator.run()`` running the heap
+  dry — and re-raises any exception a detached background process died
+  with instead of letting it vanish into the loop's exception handler.
+
+Thread discipline: every engine method must be called on the loop thread
+(offload completion callbacks are marshalled back onto it), so all
+scheduler and directory state stays single-threaded exactly like the
+simulator; only the numeric payload work inside ``offload`` runs on
+worker threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import weakref
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Generator
+
+from repro.sim.engine import Event, Process, Timeout
+
+__all__ = ["LiveEngine", "LiveProcessError"]
+
+
+class LiveProcessError(RuntimeError):
+    """A detached background process crashed during a live run.
+
+    Carries every exception collected since the last drain so a stress
+    test failure shows all crashes, not just the first.
+    """
+
+    def __init__(self, errors: list[BaseException]):
+        self.errors = list(errors)
+        heads = ", ".join(f"{type(e).__name__}: {e}" for e in self.errors[:3])
+        more = f" (+{len(self.errors) - 3} more)" if len(self.errors) > 3 else ""
+        super().__init__(f"{len(self.errors)} live process(es) crashed: {heads}{more}")
+
+
+class LiveEngine:
+    """Asyncio-backed implementation of the :class:`repro.core.backend.Clock`."""
+
+    def __init__(self, time_scale: float = 0.0, max_workers: int | None = None):
+        self.loop = asyncio.get_running_loop()
+        self.time_scale = float(time_scale)
+        self._t0 = time.monotonic()
+        # Scheduled-but-not-yet-executed actions (microqueue + timers) and
+        # in-flight offloads; quiescence is both counters at zero.
+        self._pending = 0
+        self._offloads = 0
+        # Zero-delay actions drain through one FIFO microqueue per loop
+        # callback instead of one call_soon (and one selector round) each:
+        # a put chains ~15 zero-delay events, and per-event loop iterations
+        # were the dominant cost of the whole request path.  The batch cap
+        # bounds how long the drain keeps the loop from its selector, so
+        # socket I/O stays responsive under load.
+        self._soon: deque[Callable[[], None]] = deque()
+        self._drain_scheduled = False
+        self.soon_batch = 128
+        self._timer_deadlines: dict[int, float] = {}
+        self._timer_seq = 0
+        self._quiesce_waiters: list[asyncio.Future] = []
+        self.errors: list[BaseException] = []
+        self._processes: weakref.WeakSet[Process] = weakref.WeakSet()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-live"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Clock protocol
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._t0
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        proc = Process(self, gen, name=name)
+        self._processes.add(proc)
+        return proc
+
+    def peek(self) -> float:
+        """Time of the next scheduled action (inf when fully drained).
+
+        In-flight offloads count as imminent work: their completion event
+        is scheduled the moment the worker finishes.
+        """
+        soon = self._pending - len(self._timer_deadlines)
+        if soon > 0 or self._offloads > 0:
+            return self.now
+        if self._timer_deadlines:
+            return min(self._timer_deadlines.values())
+        return float("inf")
+
+    # ------------------------------------------------------------------
+    # scheduling primitives (the contract the sim's Event classes use)
+    # ------------------------------------------------------------------
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise RuntimeError("event scheduled twice")
+        event._scheduled = True
+        self._schedule_action(delay, event._process)
+
+    def _schedule_callback(self, cb: Callable[[], None], delay: float = 0.0) -> None:
+        self._schedule_action(delay, cb)
+
+    def _schedule_action(self, delay: float, action: Callable[[], None]) -> None:
+        self._pending += 1
+        wall = delay * self.time_scale
+        if wall <= 0.0:
+            # FIFO at zero delay, matching the simulator's same-timestamp
+            # sequence-number ordering.
+            self._soon.append(action)
+            if not self._drain_scheduled:
+                self._drain_scheduled = True
+                self.loop.call_soon(self._drain_soon)
+        else:
+            self._timer_seq += 1
+            key = self._timer_seq
+            self._timer_deadlines[key] = self.now + wall
+            self.loop.call_later(wall, self._run_action, action, key)
+
+    def _drain_soon(self) -> None:
+        """Run queued zero-delay actions FIFO, up to the batch cap."""
+        budget = self.soon_batch
+        queue = self._soon
+        while queue and budget > 0:
+            budget -= 1
+            action = queue.popleft()
+            try:
+                action()
+            except BaseException as exc:  # detached crash: re-raised at drain
+                self.errors.append(exc)
+            finally:
+                self._pending -= 1
+        if queue:
+            self.loop.call_soon(self._drain_soon)  # yield to the selector first
+        else:
+            self._drain_scheduled = False
+        self._notify_if_drained()
+
+    def _run_action(self, action: Callable[[], None], timer_key: int | None) -> None:
+        if timer_key is not None:
+            self._timer_deadlines.pop(timer_key, None)
+        try:
+            action()
+        except BaseException as exc:  # detached process crash: keep, re-raise at drain
+            self.errors.append(exc)
+        finally:
+            self._pending -= 1
+            self._notify_if_drained()
+
+    def _notify_if_drained(self) -> None:
+        if self._pending == 0 and self._offloads == 0 and self._quiesce_waiters:
+            waiters, self._quiesce_waiters = self._quiesce_waiters, []
+            for fut in waiters:
+                if not fut.done():
+                    fut.set_result(None)
+
+    # ------------------------------------------------------------------
+    # live-only surface
+    # ------------------------------------------------------------------
+    def offload(self, fn: Callable[[], Any]) -> Event:
+        """Run ``fn`` on a worker thread; the returned event fires on the loop."""
+        if self._closed:
+            raise RuntimeError("offload on a closed LiveEngine")
+        ev = Event(self)
+        self._offloads += 1
+        fut = self.loop.run_in_executor(self._executor, fn)
+
+        def _done(f: asyncio.Future) -> None:
+            self._offloads -= 1
+            exc = f.exception()
+            if exc is not None:
+                ev.fail(exc)
+            else:
+                ev.succeed(f.result())
+
+        fut.add_done_callback(_done)
+        return ev
+
+    def wait(self, event: Event) -> asyncio.Future:
+        """Bridge a process-model event to an awaitable."""
+        fut = self.loop.create_future()
+
+        def _fire(ev: Event) -> None:
+            if fut.done():
+                return
+            if ev.ok:
+                fut.set_result(ev.value)
+            else:
+                fut.set_exception(ev.value)
+
+        event._add_callback(_fire)
+        return fut
+
+    async def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Start ``gen`` as a process and await its completion value."""
+        return await self.wait(self.process(gen, name=name))
+
+    async def quiesce(self, settle_rounds: int = 2) -> None:
+        """Await full drain of scheduled work and offloads.
+
+        ``settle_rounds`` extra no-op loop passes absorb completions that
+        land exactly at the drain edge (an offload finishing between the
+        counter check and the waiter registration).  Raises
+        :class:`LiveProcessError` if any detached process crashed since
+        the previous drain.
+        """
+        while True:
+            if self._pending == 0 and self._offloads == 0:
+                settled = True
+                for _ in range(settle_rounds):
+                    await asyncio.sleep(0)
+                    if self._pending or self._offloads:
+                        settled = False
+                        break
+                if settled:
+                    break
+            else:
+                fut = self.loop.create_future()
+                self._quiesce_waiters.append(fut)
+                await fut
+        if self.errors:
+            errors, self.errors = list(self.errors), []
+            raise LiveProcessError(errors)
+
+    def alive_processes(self) -> list[Process]:
+        """Processes started on this engine that have not completed.
+
+        After a clean ``quiesce()`` this must be empty; anything left is
+        deadlocked (waiting on an event nothing will ever fire)."""
+        return [p for p in self._processes if p.is_alive]
+
+    def run(self, until: Any = None) -> None:  # pragma: no cover - guard rail
+        raise RuntimeError(
+            "LiveEngine has no synchronous run(); await quiesce() or wait(event)"
+        )
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,220 @@
+"""Length-prefixed put/get/query wire protocol for the live backend.
+
+Frame layout (both directions)::
+
+    +----------------+---------------------+----------------------+
+    | header_len: u32| header: JSON (utf-8)| payload: raw bytes   |
+    | little-endian  | header_len bytes    | header["payload_len"]|
+    +----------------+---------------------+----------------------+
+
+The JSON header carries the operation and its metadata; bulk object
+bytes ride behind it untouched (no base64, no JSON inflation).  Requests
+carry ``op`` plus op-specific fields; responses carry ``ok`` plus result
+fields, or ``ok: false`` with ``error``/``error_type`` on failure.
+
+Operations
+----------
+``ping``, ``put``, ``get``, ``query``, ``step``, ``flush``, ``quiesce``,
+``fail``, ``replace``, ``snapshot``, ``stats``, ``verify``, ``shutdown``
+— see :class:`repro.live.server.LiveServer` for semantics.
+
+This module is transport-agnostic plumbing: async reader/writer framing
+for the server side and a blocking-socket :class:`LiveClient` for load
+generators and tests (usable from plain threads or subprocesses — no
+asyncio needed on the client side).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "ProtocolError",
+    "RemoteOpError",
+    "read_frame",
+    "write_frame",
+    "LiveClient",
+]
+
+_LEN = struct.Struct("<I")
+MAX_HEADER_BYTES = 1 << 20
+MAX_PAYLOAD_BYTES = 1 << 30
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame on the wire."""
+
+
+class RemoteOpError(RuntimeError):
+    """The server reported a failure executing the requested operation."""
+
+    def __init__(self, error_type: str, message: str):
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+
+
+def _encode_frame(header: dict[str, Any], payload: bytes | memoryview = b"") -> bytes:
+    header = dict(header)
+    header["payload_len"] = len(payload)
+    raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(raw) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header too large ({len(raw)} bytes)")
+    return _LEN.pack(len(raw)) + raw + bytes(payload)
+
+
+def _decode_header(raw: bytes) -> dict[str, Any]:
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header must be a JSON object")
+    plen = header.get("payload_len", 0)
+    if not isinstance(plen, int) or plen < 0 or plen > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"bad payload_len {plen!r}")
+    return header
+
+
+# ---------------------------------------------------------------------------
+# asyncio framing (server side)
+# ---------------------------------------------------------------------------
+async def read_frame(reader) -> tuple[dict[str, Any], bytes]:
+    """Read one frame; raises ``EOFError`` on clean connection close."""
+    try:
+        head = await reader.readexactly(_LEN.size)
+    except Exception as exc:  # IncompleteReadError or closed transport
+        raise EOFError("connection closed") from exc
+    (hlen,) = _LEN.unpack(head)
+    if hlen == 0 or hlen > MAX_HEADER_BYTES:
+        raise ProtocolError(f"bad header length {hlen}")
+    header = _decode_header(await reader.readexactly(hlen))
+    payload = await reader.readexactly(header["payload_len"]) if header["payload_len"] else b""
+    return header, payload
+
+
+async def write_frame(writer, header: dict[str, Any], payload: bytes | memoryview = b"") -> None:
+    writer.write(_encode_frame(header, payload))
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# blocking client
+# ---------------------------------------------------------------------------
+class LiveClient:
+    """Synchronous client speaking the live protocol over one TCP connection.
+
+    Not thread-safe: use one client per thread/process.  Ops raise
+    :class:`RemoteOpError` when the server reports a failure.
+    """
+
+    def __init__(self, host: str, port: int, name: str = "client", timeout: float | None = 60.0):
+        self.name = name
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # -- framing -------------------------------------------------------
+    def _recv_exactly(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self.sock.recv(min(remaining, 1 << 20))
+            if not chunk:
+                raise EOFError("server closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def request(self, header: dict[str, Any], payload: bytes = b"") -> tuple[dict[str, Any], bytes]:
+        self.sock.sendall(_encode_frame(header, payload))
+        (hlen,) = _LEN.unpack(self._recv_exactly(_LEN.size))
+        if hlen == 0 or hlen > MAX_HEADER_BYTES:
+            raise ProtocolError(f"bad header length {hlen}")
+        resp = _decode_header(self._recv_exactly(hlen))
+        body = self._recv_exactly(resp["payload_len"]) if resp["payload_len"] else b""
+        if not resp.get("ok", False):
+            raise RemoteOpError(resp.get("error_type", "Error"), resp.get("error", "unknown"))
+        return resp, body
+
+    # -- operations ----------------------------------------------------
+    def ping(self) -> float:
+        resp, _ = self.request({"op": "ping"})
+        return float(resp["now"])
+
+    def put(self, var: str, lb, ub, data: np.ndarray | None = None) -> float:
+        header = {"op": "put", "client": self.name, "var": var,
+                  "lb": list(lb), "ub": list(ub)}
+        payload = b""
+        if data is not None:
+            arr = np.ascontiguousarray(data)
+            header["dtype"] = str(arr.dtype)
+            payload = arr.tobytes()
+        resp, _ = self.request(header, payload)
+        return float(resp["duration"])
+
+    def get(self, var: str, lb, ub, verify: bool | None = None) -> tuple[float, dict[int, bytes]]:
+        header = {"op": "get", "client": self.name, "var": var,
+                  "lb": list(lb), "ub": list(ub)}
+        if verify is not None:
+            header["verify"] = bool(verify)
+        resp, body = self.request(header)
+        blocks: dict[int, bytes] = {}
+        off = 0
+        for bid, nbytes in resp["blocks"]:
+            blocks[int(bid)] = body[off:off + nbytes]
+            off += nbytes
+        return float(resp["duration"]), blocks
+
+    def query(self, var: str, lb, ub) -> list[dict[str, Any]]:
+        resp, _ = self.request({"op": "query", "var": var, "lb": list(lb), "ub": list(ub)})
+        return resp["blocks"]
+
+    def step(self) -> int:
+        resp, _ = self.request({"op": "step"})
+        return int(resp["step"])
+
+    def flush(self) -> None:
+        self.request({"op": "flush"})
+
+    def quiesce(self) -> None:
+        self.request({"op": "quiesce"})
+
+    def fail_server(self, sid: int) -> None:
+        self.request({"op": "fail", "server": int(sid)})
+
+    def replace_server(self, sid: int) -> None:
+        self.request({"op": "replace", "server": int(sid)})
+
+    def snapshot(self) -> dict[str, Any]:
+        resp, _ = self.request({"op": "snapshot"})
+        return resp["snapshot"]
+
+    def stats(self) -> dict[str, Any]:
+        resp, _ = self.request({"op": "stats"})
+        return resp["stats"]
+
+    def verify(self) -> dict[str, Any]:
+        resp, _ = self.request({"op": "verify"})
+        return resp["result"]
+
+    def shutdown(self) -> None:
+        try:
+            self.request({"op": "shutdown"})
+        except (EOFError, OSError):  # server may close before replying
+            pass
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+    def __enter__(self) -> "LiveClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

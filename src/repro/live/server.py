@@ -1,0 +1,236 @@
+"""Asyncio TCP server for the live staging backend.
+
+One :class:`LiveServer` fronts one :class:`~repro.live.service.LiveStagingService`:
+each accepted connection gets a handler coroutine that reads
+length-prefixed frames (:mod:`repro.live.protocol`), dispatches them on
+the shared service, and streams the response back.  Frames on one
+connection execute in order (a client's pipeline is FIFO); different
+connections run concurrently on the event loop — which is exactly where
+the live backend's parallelism comes from: while one request's encode
+batch runs on a worker thread, the loop serves other clients.
+
+``serve_in_thread`` runs the whole stack (loop + service + server) on a
+dedicated thread and hands back a handle with the bound port — the shape
+load generators, the CLI and tests use to run real-socket traffic from
+plain blocking clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.live.protocol import ProtocolError, read_frame, write_frame
+from repro.live.service import LiveStagingService
+from repro.staging.domain import BBox
+from repro.staging.service import StagingConfig
+
+__all__ = ["LiveServer", "ServerHandle", "serve_in_thread"]
+
+
+class LiveServer:
+    """Protocol frontend over one live staging service."""
+
+    def __init__(self, live: LiveStagingService):
+        self.live = live
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+        self.connections_served = 0
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and start accepting; returns the (host, port) actually bound."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` frame arrives, then drain and close."""
+        if self._server is None:
+            raise RuntimeError("start() first")
+        async with self._server:
+            await self._shutdown.wait()
+        await self.live.close()
+
+    async def stop(self) -> None:
+        self._shutdown.set()
+
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.connections_served += 1
+        try:
+            while True:
+                try:
+                    header, payload = await read_frame(reader)
+                except EOFError:
+                    break
+                try:
+                    resp, body = await self._dispatch(header, payload)
+                except ProtocolError:
+                    raise
+                except BaseException as exc:
+                    resp = {
+                        "ok": False,
+                        "error_type": type(exc).__name__,
+                        "error": str(exc),
+                    }
+                    body = b""
+                self.requests_served += 1
+                await write_frame(writer, resp, body)
+                if header.get("op") == "shutdown":
+                    self._shutdown.set()
+                    break
+        except (ProtocolError, ConnectionResetError, BrokenPipeError):
+            pass  # drop the misbehaving/vanished connection
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    def _bbox(self, header: dict[str, Any]) -> BBox:
+        return BBox(tuple(header["lb"]), tuple(header["ub"]))
+
+    async def _dispatch(self, header: dict[str, Any], payload: bytes) -> tuple[dict, bytes]:
+        op = header.get("op")
+        live = self.live
+        if op == "ping":
+            return {"ok": True, "now": live.engine.now}, b""
+        if op == "put":
+            data = None
+            if payload:
+                data = np.frombuffer(payload, dtype=header.get("dtype", "uint8"))
+            duration = await live.put(
+                header.get("client", "client"), header["var"], self._bbox(header), data
+            )
+            return {"ok": True, "duration": duration}, b""
+        if op == "get":
+            duration, payloads = await live.get(
+                header.get("client", "client"),
+                header["var"],
+                self._bbox(header),
+                header.get("verify"),
+            )
+            blocks = []
+            chunks = []
+            for bid in sorted(payloads):
+                buf = np.ascontiguousarray(payloads[bid], dtype=np.uint8)
+                blocks.append([int(bid), int(buf.size)])
+                chunks.append(buf.tobytes())
+            return {"ok": True, "duration": duration, "blocks": blocks}, b"".join(chunks)
+        if op == "query":
+            region = self._bbox(header)
+            out = []
+            for bid in live.domain.blocks_overlapping(region):
+                ent = live.directory.get(header["var"], bid)
+                if ent is None:
+                    out.append({"block": bid, "version": -1})
+                    continue
+                out.append(
+                    {
+                        "block": bid,
+                        "version": ent.version,
+                        "state": ent.state.value,
+                        "primary": ent.primary,
+                        "replicas": list(ent.replicas),
+                        "stripe": None if ent.stripe is None else ent.stripe.stripe_id,
+                        "nbytes": ent.nbytes,
+                    }
+                )
+            return {"ok": True, "blocks": out}, b""
+        if op == "step":
+            await live.end_step()
+            return {"ok": True, "step": live.step}, b""
+        if op == "flush":
+            await live.flush()
+            return {"ok": True}, b""
+        if op == "quiesce":
+            await live.quiesce()
+            return {"ok": True}, b""
+        if op == "fail":
+            live.fail_server(int(header["server"]))
+            return {"ok": True}, b""
+        if op == "replace":
+            live.replace_server(int(header["server"]))
+            return {"ok": True}, b""
+        if op == "snapshot":
+            await live.quiesce()
+            return {"ok": True, "snapshot": live.state_snapshot()}, b""
+        if op == "stats":
+            return {"ok": True, "stats": live.stats()}, b""
+        if op == "verify":
+            return {"ok": True, "result": await live.verify_all()}, b""
+        if op == "shutdown":
+            return {"ok": True}, b""
+        raise ProtocolError(f"unknown op {op!r}")
+
+
+class ServerHandle:
+    """A live server running on its own thread + event loop."""
+
+    def __init__(self, host: str, port: int, thread: threading.Thread, loop: asyncio.AbstractEventLoop, server: LiveServer):
+        self.host = host
+        self.port = port
+        self._thread = thread
+        self._loop = loop
+        self._server = server
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Request shutdown and join the server thread."""
+        if self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(self._server.stop(), self._loop)
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - watchdog
+            raise RuntimeError("live server thread did not stop")
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    config: StagingConfig,
+    policy_factory: Callable[[], Any],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    time_scale: float = 0.0,
+    max_workers: int | None = None,
+) -> ServerHandle:
+    """Run a live staging server on a dedicated thread; returns its handle."""
+    started = threading.Event()
+    box: dict[str, Any] = {}
+
+    def runner() -> None:
+        async def main() -> None:
+            live = LiveStagingService(
+                config, policy_factory(), time_scale=time_scale, max_workers=max_workers
+            )
+            server = LiveServer(live)
+            bound_host, bound_port = await server.start(host, port)
+            box["host"], box["port"] = bound_host, bound_port
+            box["loop"] = asyncio.get_running_loop()
+            box["server"] = server
+            started.set()
+            await server.serve_until_shutdown()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # pragma: no cover - surfaced via handle
+            box["error"] = exc
+            started.set()
+            raise
+
+    thread = threading.Thread(target=runner, name="repro-live-server", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30.0):  # pragma: no cover - watchdog
+        raise RuntimeError("live server failed to start within 30s")
+    if "error" in box:
+        raise RuntimeError(f"live server failed to start: {box['error']!r}")
+    return ServerHandle(box["host"], box["port"], thread, box["loop"], box["server"])

@@ -1,0 +1,189 @@
+"""Async facade over the staging service on the live engine.
+
+``LiveStagingService`` assembles the *same* :class:`~repro.staging.service.StagingService`
+— same policies, runtime, directory, codec, metrics — but injects a
+:class:`~repro.live.engine.LiveEngine` clock and a
+:class:`~repro.live.transport.LiveTransport` fabric, then exposes the
+client API as coroutines.  Every generator flow (put/get, stripe
+formation, recovery sweeps) runs unchanged; what changes is who drives
+it: asyncio tasks on the wall clock instead of a virtual-time heap.
+
+GF(2^8) encode/decode batches are offloaded to the engine's worker pool
+via :meth:`StagingRuntime.compute`.  Offloaded codec work is serialized
+by one lock — the decode-matrix LRU cache and the coding batch are not
+thread-safe — which still keeps the kernel passes off the event loop
+(the loop serves other requests while a worker encodes).  Pure work
+(payload digests) is offloaded *without* the lock and runs fully in
+parallel across workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.live.engine import LiveEngine
+from repro.live.transport import LiveTransport
+from repro.staging.domain import BBox
+from repro.staging.service import StagingConfig, StagingService
+
+__all__ = ["LiveStagingService"]
+
+
+class LiveStagingService:
+    """One live (wall-clock, concurrent) staging deployment.
+
+    Must be constructed inside a running asyncio event loop; all methods
+    must be called on that loop.
+    """
+
+    def __init__(
+        self,
+        config: StagingConfig,
+        policy,
+        time_scale: float = 0.0,
+        max_workers: int | None = None,
+        offload_compute: bool = True,
+    ):
+        self.engine = LiveEngine(time_scale=time_scale, max_workers=max_workers)
+        transport = LiveTransport(self.engine, config.network)
+        self.service = StagingService(config, policy, engine=self.engine, transport=transport)
+        self._codec_lock = threading.Lock()
+        if offload_compute:
+            self.service.runtime.compute_offload = self._offload_compute
+
+    def _offload_compute(self, fn, exclusive: bool = True):
+        if not exclusive:
+            # Pure function of its inputs (digests, private-buffer math):
+            # run lock-free so workers genuinely overlap.
+            return self.engine.offload(fn)
+
+        def locked():
+            with self._codec_lock:
+                return fn()
+
+        return self.engine.offload(locked)
+
+    # ------------------------------------------------------------------
+    # convenience passthroughs
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> StagingConfig:
+        return self.service.config
+
+    @property
+    def runtime(self):
+        return self.service.runtime
+
+    @property
+    def directory(self):
+        return self.service.directory
+
+    @property
+    def domain(self):
+        return self.service.domain
+
+    @property
+    def servers(self):
+        return self.service.servers
+
+    @property
+    def metrics(self):
+        return self.service.metrics
+
+    @property
+    def step(self) -> int:
+        return self.service.step
+
+    # ------------------------------------------------------------------
+    # client API (coroutines)
+    # ------------------------------------------------------------------
+    async def put(
+        self, client_name: str, name: str, region: BBox, data: np.ndarray | None = None
+    ) -> float:
+        return await self.engine.run_process(
+            self.service.put(client_name, name, region, data), name=f"put-{name}"
+        )
+
+    async def get(
+        self, client_name: str, name: str, region: BBox, verify: bool | None = None
+    ) -> tuple[float, dict[int, np.ndarray]]:
+        return await self.engine.run_process(
+            self.service.get(client_name, name, region, verify), name=f"get-{name}"
+        )
+
+    async def end_step(self) -> None:
+        await self.engine.run_process(self.service.end_step(), name="end_step")
+
+    async def flush(self) -> None:
+        await self.engine.run_process(self.service.flush(), name="flush")
+
+    async def quiesce(self) -> None:
+        """Drain all scheduled work, background protection and offloads."""
+        await self.engine.quiesce()
+
+    # ------------------------------------------------------------------
+    # failures (synchronous state changes; recovery runs in background)
+    # ------------------------------------------------------------------
+    def fail_server(self, sid: int) -> None:
+        self.service.fail_server(sid)
+
+    def replace_server(self, sid: int) -> None:
+        self.service.replace_server(sid)
+
+    def alive_servers(self) -> list[int]:
+        return self.service.alive_servers()
+
+    # ------------------------------------------------------------------
+    # audit / introspection
+    # ------------------------------------------------------------------
+    async def verify_all(self) -> dict:
+        """Live analogue of :meth:`StagingService.verify_all` (read audit)."""
+        from repro.core.runtime import DataLossError
+        from repro.staging.objects import payload_digest
+
+        svc = self.service
+        verified = 0
+        unrecoverable = []
+        for key in sorted(svc.directory.entities):
+            ent = svc.directory.entities[key]
+            if ent.version < 0:
+                continue
+
+            def probe(e=ent):
+                payload = yield from svc.runtime.read_entity(e, "auditor", repair=False)
+                if payload_digest(payload) != e.digest:
+                    raise DataLossError(f"audit digest mismatch for {e.key}")
+
+            try:
+                await self.engine.run_process(probe(), name=f"audit-{key}")
+                verified += 1
+            except DataLossError:
+                unrecoverable.append(key)
+        return {"verified": verified, "unrecoverable": unrecoverable}
+
+    def state_snapshot(self) -> dict:
+        return self.service.state_snapshot()
+
+    def storage_report(self) -> dict:
+        return self.service.storage_report()
+
+    def stats(self) -> dict[str, Any]:
+        """Small operational summary for the protocol's STATS op."""
+        m = self.service.metrics
+        return {
+            "now": self.engine.now,
+            "step": self.service.step,
+            "puts": m.put_stat.n,
+            "gets": m.get_stat.n,
+            "alive_servers": self.alive_servers(),
+            "entities": len(self.service.directory.entities),
+            "stripes": len(self.service.directory.stripes),
+            "read_errors": self.service.read_errors,
+        }
+
+    async def close(self) -> None:
+        await self.engine.quiesce()
+        self.engine.close()

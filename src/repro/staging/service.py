@@ -86,12 +86,19 @@ class StagingConfig:
 
 
 class StagingService:
-    """One simulated staging deployment under one resilience policy."""
+    """One staging deployment under one resilience policy.
 
-    def __init__(self, config: StagingConfig, policy):
+    Backend-agnostic assembly: by default it builds the discrete-event
+    simulator and the modeled network, but any :class:`repro.core.backend.Clock`
+    / :class:`repro.core.backend.Transport` pair can be injected — the
+    live backend (:mod:`repro.live`) passes a wall-clock asyncio engine
+    and a real transport, and every flow below this class runs unchanged.
+    """
+
+    def __init__(self, config: StagingConfig, policy, engine=None, transport=None):
         self.config = config
         self.policy = policy
-        self.sim = Simulator()
+        self.sim = engine if engine is not None else Simulator()
         self.streams = RngStreams(config.seed)
         self.log = EventLog()
         self.metrics = Metrics()
@@ -102,7 +109,7 @@ class StagingService:
             servers_per_node=config.servers_per_node,
             nodes_per_cabinet=config.nodes_per_cabinet,
         )
-        self.network = Network(self.sim, config.network)
+        self.network = transport if transport is not None else Network(self.sim, config.network)
         self.servers = [
             StagingServer(
                 self.sim, sid, costs=config.costs,
@@ -275,7 +282,14 @@ class StagingService:
         is_new = ent.version < 0
         prev_bytes = ent.nbytes if not is_new else 0
         payload = self._block_payload(ent.name, ent.block_id, ent.version + 1, region, data)
-        ent.record_write(self.sim.now, self.step, int(payload.size), payload_digest(payload))
+        # Digest is a pure function of the payload; on the live backend it
+        # runs lock-free on a worker (blake2b releases the GIL), keeping
+        # the hash off the event loop.  The entity lock is held, so the
+        # write is still recorded before any later op on this entity.
+        digest = yield from self.runtime.compute(
+            lambda: payload_digest(payload), exclusive=False
+        )
+        ent.record_write(self.sim.now, self.step, int(payload.size), digest)
         self.metrics.storage.original += int(payload.size) - prev_bytes
         if self.config.async_protection:
             # Acknowledge once the primary copy is staged; protection runs
@@ -364,11 +378,15 @@ class StagingService:
         payload = yield from self.runtime.read_entity(
             ent, client_name, repair=self.policy.repair_on_access
         )
-        if verify and payload_digest(payload) != ent.digest:
-            self.read_errors += 1
-            raise DataLossError(
-                f"digest mismatch reading {name}/{block_id}@v{ent.version}"
+        if verify:
+            digest = yield from self.runtime.compute(
+                lambda: payload_digest(payload), exclusive=False
             )
+            if digest != ent.digest:
+                self.read_errors += 1
+                raise DataLossError(
+                    f"digest mismatch reading {name}/{block_id}@v{ent.version}"
+                )
         return payload
 
     # ------------------------------------------------------------------

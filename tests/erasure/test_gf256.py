@@ -190,14 +190,15 @@ class TestOutParameter:
 
     def test_addmul_no_steady_state_allocation(self):
         # The scratch pool must be reused: two same-size calls, one buffer.
+        # The pool is per-thread (threading.local), so read this thread's.
         from repro.erasure import gf256
 
         acc = np.zeros(4096, dtype=np.uint8)
         buf = np.ones(4096, dtype=np.uint8)
         GF256.addmul_bytes(acc, 7, buf)
-        snapshot = {k: v.ctypes.data for k, v in gf256._SCRATCH.items()}
+        snapshot = {k: v.ctypes.data for k, v in gf256._SCRATCH.pool.items()}
         GF256.addmul_bytes(acc, 9, buf)
-        after = {k: v.ctypes.data for k, v in gf256._SCRATCH.items()}
+        after = {k: v.ctypes.data for k, v in gf256._SCRATCH.pool.items()}
         assert snapshot == after
 
 

@@ -1,0 +1,73 @@
+"""Differential conformance: sim and live must reach byte-identical state.
+
+Each seeded workload tape is played twice — once on the virtual-time
+simulator, once on the wall-clock live engine — with a full drain between
+ops.  At every read, payload digests must match op-for-op; at the end,
+the timing-free state projections (directory metadata, stripe geometry,
+every server's store contents, pending pools, storage accounting) must
+be identical.  This is the live backend's core correctness claim: same
+policies, same decisions, same bytes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.live.conformance import (
+    WORKLOADS,
+    build_ops,
+    diff_projections,
+    run_live,
+    run_sim,
+)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_sim_and_live_agree(name):
+    spec = WORKLOADS[name]
+    sim_proj, sim_reads = run_sim(spec)
+    live_proj, live_reads = run_live(spec)
+    diffs = diff_projections(sim_proj, live_proj)
+    assert diffs == [], "sim/live state diverged:\n" + "\n".join(diffs[:40])
+    assert len(sim_reads) == len(live_reads) > 0
+    assert sim_reads == live_reads, "read payload digests diverged"
+
+
+def test_live_runs_are_deterministic():
+    """Two live runs of one seed match each other (not just the sim)."""
+    spec = WORKLOADS["hybrid"]
+    proj_a, reads_a = run_live(spec)
+    proj_b, reads_b = run_live(spec)
+    assert diff_projections(proj_a, proj_b) == []
+    assert reads_a == reads_b
+
+
+def test_offload_choice_does_not_change_state():
+    """Worker-pool codec offload must be invisible to the state machine."""
+    spec = WORKLOADS["failure-and-recover"]
+    proj_on, reads_on = run_live(spec, offload_compute=True)
+    proj_off, reads_off = run_live(spec, offload_compute=False)
+    assert diff_projections(proj_on, proj_off) == []
+    assert reads_on == reads_off
+
+
+def test_workloads_are_not_vacuous():
+    """The tapes must actually exercise the paths they claim to cover."""
+    rep = run_sim(WORKLOADS["replication-only"])[0]
+    assert rep["entities"] and all(
+        e["state"] == "replicated" for e in rep["entities"].values()
+    )
+    hyb = run_sim(WORKLOADS["hybrid"])[0]
+    assert len(hyb["stripes"]) >= 2, "hybrid workload formed no stripes"
+    fail = run_sim(WORKLOADS["failure-and-recover"])[0]
+    assert len(fail["stripes"]) >= 2
+    assert all(not s["failed"] for s in fail["servers"]), "ends fully replaced"
+    # Recovery actually ran: the projection is only comparable because
+    # both backends completed the sweep; spot-check durability here.
+    assert fail["read_errors"] == 0
+
+
+def test_op_tapes_are_reproducible():
+    for spec in WORKLOADS.values():
+        assert build_ops(spec) == build_ops(spec)
+        assert any(op[0] == "put" for op in build_ops(spec))

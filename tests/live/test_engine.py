@@ -1,0 +1,237 @@
+"""Unit tests for the asyncio-backed LiveEngine clock."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.live.engine import LiveEngine, LiveProcessError
+from repro.sim.engine import AllOf
+from repro.sim.resources import Resource
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_timeout_fires_and_returns_value():
+    async def main():
+        eng = LiveEngine()
+        try:
+            def flow():
+                got = yield eng.timeout(0.0, value="payload")
+                return got
+
+            assert await eng.run_process(flow()) == "payload"
+        finally:
+            eng.close()
+
+    run(main())
+
+
+def test_zero_delay_events_fire_in_fifo_order():
+    async def main():
+        eng = LiveEngine()
+        try:
+            order = []
+
+            def flow(tag):
+                yield eng.timeout(0.0)
+                order.append(tag)
+
+            procs = [eng.process(flow(i)) for i in range(8)]
+
+            def barrier():
+                yield AllOf(eng, procs)
+
+            await eng.run_process(barrier())
+            assert order == list(range(8))
+        finally:
+            eng.close()
+
+    run(main())
+
+
+def test_now_is_monotonic_wall_clock():
+    async def main():
+        eng = LiveEngine()
+        try:
+            t0 = eng.now
+            await asyncio.sleep(0.02)
+            assert eng.now >= t0 + 0.015
+        finally:
+            eng.close()
+
+    run(main())
+
+
+def test_time_scale_paces_timeouts():
+    async def main():
+        eng = LiveEngine(time_scale=1.0)
+        try:
+            def flow():
+                yield eng.timeout(0.05)
+
+            start = time.monotonic()
+            await eng.run_process(flow())
+            assert time.monotonic() - start >= 0.04
+        finally:
+            eng.close()
+
+    run(main())
+
+
+def test_offload_runs_off_the_loop_thread():
+    async def main():
+        eng = LiveEngine()
+        try:
+            loop_thread = threading.get_ident()
+
+            def flow():
+                worker = yield eng.offload(threading.get_ident)
+                return worker
+
+            worker_thread = await eng.run_process(flow())
+            assert worker_thread != loop_thread
+        finally:
+            eng.close()
+
+    run(main())
+
+
+def test_offload_exception_propagates_into_process():
+    async def main():
+        eng = LiveEngine()
+        try:
+            def boom():
+                raise ValueError("kernel exploded")
+
+            def flow():
+                try:
+                    yield eng.offload(boom)
+                except ValueError as exc:
+                    return f"caught {exc}"
+                return "not raised"
+
+            assert await eng.run_process(flow()) == "caught kernel exploded"
+        finally:
+            eng.close()
+
+    run(main())
+
+
+def test_detached_crash_surfaces_at_quiesce():
+    async def main():
+        eng = LiveEngine()
+        try:
+            def crasher():
+                yield eng.timeout(0.0)
+                raise RuntimeError("background death")
+
+            eng.process(crasher())  # detached: nobody awaits it
+            with pytest.raises(LiveProcessError) as err:
+                await eng.quiesce()
+            assert "background death" in str(err.value)
+            # Errors are consumed by the raise; the next drain is clean.
+            await eng.quiesce()
+        finally:
+            eng.close()
+
+    run(main())
+
+
+def test_quiesce_waits_for_chained_background_work():
+    async def main():
+        eng = LiveEngine()
+        try:
+            hits = []
+
+            def leaf(n):
+                yield eng.timeout(0.0)
+                hits.append(n)
+
+            def spawner():
+                yield eng.timeout(0.0)
+                for n in range(3):
+                    eng.process(leaf(n))
+
+            eng.process(spawner())
+            await eng.quiesce()
+            assert sorted(hits) == [0, 1, 2]
+            assert eng.alive_processes() == []
+            assert eng.peek() == float("inf")
+        finally:
+            eng.close()
+
+    run(main())
+
+
+def test_alive_processes_reports_deadlocked_waiter():
+    async def main():
+        eng = LiveEngine()
+        try:
+            never = eng.event()
+
+            def stuck():
+                yield never  # nothing ever fires this
+
+            eng.process(stuck())
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)
+            assert len(eng.alive_processes()) == 1
+        finally:
+            eng.close()
+
+    run(main())
+
+
+def test_resources_serialize_on_live_engine():
+    async def main():
+        eng = LiveEngine()
+        try:
+            res = Resource(eng, capacity=1)
+            active = []
+            max_active = []
+
+            def worker(n):
+                req = res.request()
+                yield req
+                active.append(n)
+                max_active.append(len(active))
+                yield eng.timeout(0.0)
+                active.remove(n)
+                res.release(req)
+
+            for n in range(5):
+                eng.process(worker(n))
+            await eng.quiesce()
+            assert max(max_active) == 1  # capacity respected under the loop
+        finally:
+            eng.close()
+
+    run(main())
+
+
+def test_sync_run_is_rejected():
+    async def main():
+        eng = LiveEngine()
+        try:
+            with pytest.raises(RuntimeError):
+                eng.run()
+        finally:
+            eng.close()
+
+    run(main())
+
+
+def test_offload_after_close_is_rejected():
+    async def main():
+        eng = LiveEngine()
+        eng.close()
+        with pytest.raises(RuntimeError):
+            eng.offload(lambda: None)
+
+    run(main())
