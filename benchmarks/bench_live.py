@@ -24,6 +24,12 @@ on a single-core container cannot scale with client count by
 construction; that mode measures the request path's CPU floor, not
 concurrency.)
 
+Every run also audits the zero-copy payload discipline: protocol-level
+copy counters (``PROTO_STATS``) are collected from each client process
+and from the server process, and the bench fails if any frame assembly
+joined payload bytes — the put/get data plane must be scatter/gather
+sends and ``recv_into`` receives end to end.
+
 Emits ``benchmarks/BENCH_live.json`` and enforces the scaling floor:
 8-client aggregate put throughput at least 2x a single client's.
 
@@ -90,7 +96,9 @@ def client_proc(host: str, port: int, idx: int, ops: int, ready_q, go, out_q) ->
                 cli.get(var, (0, 0, 0), PAYLOAD_SHAPE)
                 get_lat.append(time.perf_counter() - t0)
         t_end = time.time()
-    out_q.put((idx, t_begin, t_end, put_lat, get_lat))
+    from repro.live.protocol import PROTO_STATS
+
+    out_q.put((idx, t_begin, t_end, put_lat, get_lat, dict(PROTO_STATS)))
 
 
 def percentiles(lat: list[float]) -> dict:
@@ -110,7 +118,9 @@ def percentiles(lat: list[float]) -> dict:
 def run_point(n_clients: int) -> dict:
     from repro.core.corec import CoRECPolicy
     from repro.live import serve_in_thread
+    from repro.live.protocol import PROTO_STATS
 
+    server_stats_before = dict(PROTO_STATS)
     handle = serve_in_thread(server_config(), CoRECPolicy, time_scale=TIME_SCALE)
     ctx = mp.get_context("spawn")
     ready_q = ctx.Queue()
@@ -142,6 +152,13 @@ def run_point(n_clients: int) -> dict:
     get_lat = [x for r in results for x in r[4]]
     payload_bytes = int(np.prod(PAYLOAD_SHAPE))
     total_puts = len(put_lat)
+    # Copy audit: client-side counters summed across processes, server-side
+    # as the delta of this process's counters across the run (the server
+    # thread lives in the bench process).
+    client_copies = sum(r[5]["payload_copies"] for r in results)
+    client_bytes = sum(r[5]["bytes_copied"] for r in results)
+    server_copies = PROTO_STATS["payload_copies"] - server_stats_before["payload_copies"]
+    server_bytes = PROTO_STATS["bytes_copied"] - server_stats_before["bytes_copied"]
     return {
         "clients": n_clients,
         "window_s": window,
@@ -149,6 +166,12 @@ def run_point(n_clients: int) -> dict:
         "put_MB_per_s": total_puts * payload_bytes / 1e6 / window,
         "put": percentiles(put_lat),
         "get": percentiles(get_lat),
+        "zero_copy": {
+            "client_payload_copies": client_copies,
+            "client_bytes_copied": client_bytes,
+            "server_payload_copies": server_copies,
+            "server_bytes_copied": server_bytes,
+        },
     }
 
 
@@ -167,6 +190,10 @@ def main() -> int:
     base = rows[0]["put_ops_per_s"]
     top = next(r for r in rows if r["clients"] == max(CLIENT_COUNTS))
     scaling = top["put_ops_per_s"] / base
+    total_copies = sum(
+        r["zero_copy"]["client_payload_copies"] + r["zero_copy"]["server_payload_copies"]
+        for r in rows
+    )
     payload = {
         "config": {
             "payload_bytes": int(np.prod(PAYLOAD_SHAPE)),
@@ -178,13 +205,21 @@ def main() -> int:
         },
         "rows": rows,
         "scaling_8c_over_1c": scaling,
+        "payload_copies_total": total_copies,
     }
     with open(OUT_PATH, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
     print(f"\n{max(CLIENT_COUNTS)}-client/1-client put scaling: {scaling:.2f}x "
-          f"(floor {MIN_SCALING_8C}x) -> {OUT_PATH}")
+          f"(floor {MIN_SCALING_8C}x)  payload copies: {total_copies} -> {OUT_PATH}")
     if scaling < MIN_SCALING_8C:
         print("FAIL: live backend does not scale with client count", file=sys.stderr)
+        return 1
+    if total_copies != 0:
+        print(
+            f"FAIL: {total_copies} payload copies on the put/get data plane "
+            "(zero-copy framing regressed)",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

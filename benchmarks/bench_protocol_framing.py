@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Microbenchmark: protocol frame assembly — header encoding and copies.
+
+Quantifies the two hot-path costs the zero-copy framing removed:
+
+1. **Header re-encoding**: ``json.dumps`` of the full header dict per
+   frame vs completing a cached :func:`header_preamble` (append decimal
+   payload length + ``}``).  A put/get workload re-sends the same
+   op/var/region metadata thousands of times; only ``payload_len``
+   changes.
+2. **Payload joins**: the legacy ``_encode_frame`` concatenation
+   (header + payload into one bytes object) vs :func:`frame_parts`
+   handing the payload buffer to the transport untouched.
+
+Prints per-frame costs and the resulting frames/s; writes
+``results/protocol_framing.json``.  The only hard assertion is the copy
+count (framing must not join payload bytes) — timing ratios are
+informational because they are host-dependent.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_protocol_framing.py``
+(``--reps`` to change the measurement size; ``--smoke`` for CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.live import protocol
+from repro.live.protocol import PROTO_STATS, frame_parts, header_preamble
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "results", "protocol_framing.json")
+
+HEADER = {
+    "op": "put",
+    "client": "bench",
+    "var": "bench0",
+    "lb": [0, 0, 0],
+    "ub": [64, 64, 16],
+    "dtype": "uint8",
+}
+PAYLOAD_BYTES = 65536
+
+
+def best_rate(fn, frames: int, reps: int) -> float:
+    """Frames per second, best of ``reps`` batches."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn(frames)
+        best = min(best, time.perf_counter() - t0)
+    return frames / best
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--frames", type=int, default=20000)
+    ap.add_argument("--reps", type=int, default=5)
+    ap.add_argument("--smoke", action="store_true", help="tiny sizes for CI")
+    args = ap.parse_args()
+    frames = 2000 if args.smoke else args.frames
+    reps = 2 if args.smoke else args.reps
+
+    payload = memoryview((np.arange(PAYLOAD_BYTES) % 256).astype(np.uint8)).cast("B")
+    pre = header_preamble(HEADER)
+
+    def per_frame_json(n: int) -> None:
+        for i in range(n):
+            HEADER["payload_len"] = PAYLOAD_BYTES  # what a naive path re-dumps
+            json.dumps(HEADER, separators=(",", ":")).encode("utf-8")
+        HEADER.pop("payload_len", None)
+
+    def cached_preamble(n: int) -> None:
+        for i in range(n):
+            frame_parts(None, payload, preamble=pre)
+
+    def legacy_join(n: int) -> None:
+        for i in range(n):
+            protocol._encode_frame(HEADER, payload)
+
+    results: dict[str, float] = {}
+    results["json_headers_per_s"] = best_rate(per_frame_json, frames, reps)
+    results["preamble_frames_per_s"] = best_rate(cached_preamble, frames, reps)
+    results["header_speedup"] = (
+        results["preamble_frames_per_s"] / results["json_headers_per_s"]
+    )
+
+    # Copy audit around the join comparison.
+    before = dict(PROTO_STATS)
+    results["join_frames_per_s"] = best_rate(legacy_join, max(200, frames // 10), reps)
+    joined = PROTO_STATS["payload_copies"] - before["payload_copies"]
+    before = dict(PROTO_STATS)
+    results["parts_frames_per_s"] = best_rate(cached_preamble, frames, reps)
+    parts_copies = PROTO_STATS["payload_copies"] - before["payload_copies"]
+    results["join_speedup"] = (
+        results["parts_frames_per_s"] / results["join_frames_per_s"]
+    )
+    results["join_MB_per_s"] = results["join_frames_per_s"] * PAYLOAD_BYTES / 1e6
+    results["parts_MB_per_s"] = results["parts_frames_per_s"] * PAYLOAD_BYTES / 1e6
+
+    for key in sorted(results):
+        print(f"  {key:24s} {results[key]:14.1f}")
+
+    os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
+    with open(OUT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(
+            {"payload_bytes": PAYLOAD_BYTES, "frames": frames, "results": results},
+            fh,
+            indent=2,
+        )
+        fh.write("\n")
+    print(f"-> {OUT_PATH}")
+
+    if parts_copies != 0:
+        print("FAIL: frame_parts copied payload bytes", file=sys.stderr)
+        return 1
+    if joined == 0:
+        print("FAIL: legacy join no longer counts copies (stats broken)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,10 @@ baseline ``benchmarks/BENCH_codec.json``:
   (default 30%) below the baseline;
 - the machine-relative speedup ratios — fused encode vs the seed per-cell
   kernel, and 32-stripe batched encode vs a per-stripe loop — must stay
-  above their acceptance floors (3x and 1.5x) regardless of host speed.
+  above their acceptance floors (3x and 1.5x) regardless of host speed;
+- the stripe-parallel encode path (column splits over a worker pool, the
+  configuration the live backend runs) must clear an *absolute* floor of
+  2x the pre-native-kernel serial baseline (867.6 MB/s).
 
 Usage:
     PYTHONPATH=src python benchmarks/check_regression.py                  # gate
@@ -23,6 +26,7 @@ import json
 import os
 import sys
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -42,6 +46,10 @@ BATCH_SHARD = 2048
 
 MIN_ENCODE_SPEEDUP_VS_SEED = 3.0
 MIN_BATCH_SPEEDUP_VS_LOOP = 1.5
+# Absolute (host-independent) floor for the stripe-parallel encode path:
+# 2x the serial rs_encode_6_3_mb_s baseline committed before the native
+# kernel and the parallel splits landed (433.8 MB/s).
+MIN_PARALLEL_ENCODE_MB_S = 867.6
 
 
 def best_time(fn, reps: int) -> float:
@@ -70,10 +78,14 @@ def measure(reps: int) -> dict[str, float]:
 
     # Same product through the seed per-cell kernel: the speedup ratio is
     # machine-relative, so it gates vectorization quality, not host speed.
+    # The native kernel must be masked too — encode() routes through it
+    # whenever it is loaded, regardless of the selected numpy kernel.
     GF256.set_kernel("reference")
+    native, GF256._NATIVE = GF256._NATIVE, None
     try:
         t = best_time(lambda: code.encode(shards), max(1, reps // 2))
     finally:
+        GF256._NATIVE = native
         GF256.set_kernel(None)
     metrics["rs_encode_seed_kernel_mb_s"] = 6 * SHARD / t / 1e6
     metrics["encode_speedup_vs_seed"] = (
@@ -113,6 +125,28 @@ def measure(reps: int) -> dict[str, float]:
     t = best_time(lambda: code.reconstruct_shard(rec_present, 3), reps)
     metrics["rs_reconstruct_shard_mb_s"] = SHARD / t / 1e6
 
+    # Stripe-parallel encode: the exact configuration the live backend
+    # runs — column splits fanned over a small worker pool, first split
+    # inline on the calling thread (LiveEngine.codec_map's discipline).
+    workers = min(8, os.cpu_count() or 1)
+    pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="bench-codec")
+    try:
+        pcode = RSCode(6, 3)
+
+        def pool_map(tasks):
+            futs = [pool.submit(task) for task in tasks[1:]]
+            tasks[0]()
+            for fut in futs:
+                fut.result()
+
+        pcode.parallel_map = pool_map
+        pcode.encode(shards)  # warm + verify the splits actually fan out
+        t = best_time(lambda: pcode.encode(shards), reps)
+    finally:
+        pool.shutdown(wait=True)
+    metrics["rs_encode_parallel_mb_s"] = 6 * SHARD / t / 1e6
+    metrics["parallel_passes"] = float(pcode.parallel_stats["passes"])
+
     return metrics
 
 
@@ -128,6 +162,13 @@ def check_ratios(metrics: dict[str, float]) -> list[str]:
             f"batched encode is only {metrics['batch_speedup_vs_loop']:.2f}x the "
             f"per-stripe loop (floor {MIN_BATCH_SPEEDUP_VS_LOOP}x)"
         )
+    if metrics["rs_encode_parallel_mb_s"] < MIN_PARALLEL_ENCODE_MB_S:
+        failures.append(
+            f"stripe-parallel encode at {metrics['rs_encode_parallel_mb_s']:.1f} "
+            f"MB/s is below the absolute floor {MIN_PARALLEL_ENCODE_MB_S} MB/s"
+        )
+    if metrics["parallel_passes"] < 1:
+        failures.append("parallel encode never fanned out (0 parallel passes)")
     return failures
 
 
@@ -162,7 +203,7 @@ def main() -> int:
 
     metrics = measure(args.reps)
     for key in sorted(metrics):
-        unit = "" if key.endswith("speedup_vs_seed") or key.endswith("_vs_loop") else " MB/s"
+        unit = " MB/s" if key.endswith("_mb_s") else ""
         print(f"  {key:32s} {metrics[key]:10.2f}{unit}")
 
     failures = check_ratios(metrics)

@@ -113,6 +113,7 @@ class SimpleHybridPolicy(ResiliencePolicy):
                 )
                 if not self.rt.server(ent.primary).failed:
                     self.rt.server(ent.primary).store_bytes(primary_key(ent), payload)
+                    ent.stored_version = ent.version
                 yield from self.rt.replicate_entity(ent, payload)
             else:  # PENDING or NONE -> replicate directly
                 if state == ResilienceState.PENDING_STRIPE:

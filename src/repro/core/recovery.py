@@ -508,6 +508,8 @@ class RecoveryManager:
         payload = srv.fetch_bytes(replica_key(ent))
         srv.store_bytes(primary_key(ent), payload)
         srv.delete_bytes(replica_key(ent))
+        # The promoted bytes are the replica copy's version.
+        ent.stored_version = ent.replica_version
         ent.primary = new_primary
         ent.replicas = [
             r for r in ent.replicas if r != new_primary and self.rt.alive(r)

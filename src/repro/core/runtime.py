@@ -194,11 +194,12 @@ class StagingRuntime:
         Only legal where the calling flow may yield; atomic (no-yield)
         mutation sections must keep their numeric work inline.
 
-        ``exclusive=True`` (the default) marks work that touches shared
-        codec state (decode-matrix cache, coding batch) and must be
-        serialized across worker threads.  Pure functions of their inputs
-        — digests, standalone kernel math on private buffers — pass
-        ``exclusive=False`` and may run fully in parallel.
+        ``exclusive=True`` (the default) marks work that mutates shared
+        state without its own locking and must be serialized across
+        worker threads.  The codec layer (decode-matrix cache, coding
+        batch, scratch pools) is thread-safe, so every coding path passes
+        ``exclusive=False`` and runs fully in parallel; ``exclusive``
+        remains the safe default for new call sites.
         """
         if self.compute_offload is not None:
             result = yield self.compute_offload(fn, exclusive)
@@ -286,6 +287,7 @@ class StagingRuntime:
             yield from self.busy(ent.primary, self.costs.store_cost(int(payload.size)), "store")
             if not psrv.failed:
                 psrv.store_bytes(primary_key(ent), payload)
+                ent.stored_version = ent.version
 
     # ------------------------------------------------------------------
     # replication flows
@@ -310,6 +312,7 @@ class StagingRuntime:
         new_accounted = ent.nbytes * len(ent.replicas)
         self.metrics.storage.replica += new_accounted - ent.replica_bytes_accounted
         ent.replica_bytes_accounted = new_accounted
+        ent.replica_version = ent.version
 
     def replicate_entity(self, ent: BlockEntity, payload: np.ndarray) -> Generator:
         """Place/refresh the entity's replicas (paper's C_r path).
@@ -340,6 +343,7 @@ class StagingRuntime:
         placement_changed = not was_replicated or targets != ent.replicas
         ent.state = ResilienceState.REPLICATED
         ent.replicas = targets
+        ent.replica_version = ent.version
         # Logical accounting: replica bytes promised by the protection state.
         new_accounted = ent.nbytes * len(targets)
         self.metrics.storage.replica += new_accounted - ent.replica_bytes_accounted
@@ -358,6 +362,7 @@ class StagingRuntime:
             if not srv.failed:
                 srv.delete_bytes(replica_key(ent))
         ent.replicas = []
+        ent.replica_version = -1
         self.metrics.storage.replica -= ent.replica_bytes_accounted
         ent.replica_bytes_accounted = 0
 
@@ -585,9 +590,16 @@ class StagingRuntime:
                 yield from self._restore_primary_from_replica(e)
             # Snapshot payload and version together (no yield in between) so
             # the stripe is self-consistent even if the member is written
-            # while other members are still being gathered.
+            # while other members are still being gathered.  The version of
+            # record is ``stored_version`` — what the fetched bytes actually
+            # are — NOT ``e.version``: a writer bumps the version under the
+            # entity lock *before* its store lands, and this gather does not
+            # hold that lock, so the two can disagree mid-write.  Pairing
+            # the fetch with ``e.version`` would mark old bytes as the new
+            # version, drop the member's replicas, and lose the new write
+            # on the next primary failure.
             raw = src.fetch_bytes(primary_key(e))
-            versions[e.key] = e.version
+            versions[e.key] = e.stored_version
             if e.primary != exec_sid:
                 yield from self.transfer(src.name, exec_name, e.nbytes)
             payloads.append(self._pad(raw, shard_len))
@@ -597,7 +609,9 @@ class StagingRuntime:
         yield from self.busy(exec_sid, self.costs.encode_cost(k, m, shard_len), "encode")
         if self.tracer.enabled:
             calls0 = GF256.KERNEL_STATS["matmul_calls"]
-        parities = yield from self.compute(lambda: self._encode_stripe(payloads))
+        parities = yield from self.compute(
+            lambda: self._encode_stripe(payloads), exclusive=False
+        )
         if self.tracer.enabled:
             self.tracer.annotate(
                 executor=exec_sid,
@@ -663,9 +677,13 @@ class StagingRuntime:
         return stripe
 
     def _restore_primary_from_replica(self, ent: BlockEntity) -> Generator:
-        """Best-effort primary-copy restore from any live replica."""
+        """Best-effort primary-copy restore from any live *fresh* replica.
+
+        A stale replica (version drifted past the copies) must never be
+        promoted to primary: that would silently resurrect old bytes.
+        """
         psrv = self.server(ent.primary)
-        for r in ent.replicas:
+        for r in ent.replicas if ent.replica_version == ent.version else ():
             rsrv = self.server(r)
             if rsrv.has(replica_key(ent)):
                 payload = rsrv.fetch_bytes(replica_key(ent))
@@ -675,6 +693,7 @@ class StagingRuntime:
                 # never clobber it with the (older) replica bytes.
                 if not psrv.failed and not psrv.has(primary_key(ent)):
                     psrv.store_bytes(primary_key(ent), payload)
+                    ent.stored_version = ent.replica_version
                     self.metrics.count("recovered_objects")
                 break
         if not psrv.has(primary_key(ent)):
@@ -698,19 +717,21 @@ class StagingRuntime:
         if base is not None and current.size <= stripe.shard_len:
             cur_p = self._pad(current, stripe.shard_len)
             if (cur_p == base).all():
-                # No byte drift; adopt the live version number and reclaim
-                # any copies a deferred drop left behind.
-                stripe.member_versions[ent.key] = ent.version
-                if ent.replicas:
+                # No byte drift; adopt the stored bytes' version and reclaim
+                # any copies a deferred drop left behind (only when the
+                # stored bytes ARE the current version — otherwise the
+                # copies are still the only protection for the live write).
+                stripe.member_versions[ent.key] = ent.stored_version
+                if ent.replicas and ent.stored_version == ent.version:
                     self._drop_replica_copies(ent)
                 return
-            version = ent.version
+            version = ent.stored_version  # what the fetched bytes actually are
 
             def apply_state() -> None:
                 stripe.baseline[slot] = cur_p
                 stripe.lengths[slot] = int(current.size)
                 stripe.member_versions[ent.key] = version
-                if ent.replicas:
+                if ent.replicas and version == ent.version:
                     # The parity now protects the live bytes: the replica
                     # copies kept through the drifted transition (see
                     # _form_stripe_body) are reclaimed here — leaving them
@@ -773,7 +794,7 @@ class StagingRuntime:
             yield from self._restore_primary_from_replica(ent)
         payload = self.server(ent.primary).fetch_bytes(primary_key(ent))
         payload_p = self._pad(payload, stripe.shard_len)
-        version = ent.version
+        version = ent.stored_version  # the fetched bytes' version (see gather)
 
         def apply_state() -> None:
             stripe.fill_slot(slot, ent.key, ent.primary)  # retargets placeholder
@@ -907,6 +928,7 @@ class StagingRuntime:
             yield from self.extract_from_stripe(ent)
             yield from self.busy(ent.primary, self.costs.store_cost(new_payload.size), "store")
             self.server(ent.primary).store_bytes(primary_key(ent), new_payload)
+            ent.stored_version = ent.version
             self.enqueue_for_encoding(ent)
             gid = self.layout.coding_group_id(ent.primary)
             yield from self.encode_pending(gid)
@@ -928,9 +950,15 @@ class StagingRuntime:
         def apply_data() -> None:
             if not psrv.failed:
                 psrv.store_bytes(pkey, new_payload)
+                ent.stored_version = version
             stripe.lengths[slot] = int(new_payload.size)
             stripe.member_versions[ent.key] = version
             stripe.baseline[slot] = new_p
+            if ent.replicas:
+                # Leftover copies kept through a drifted encode are now
+                # both stale (they hold the pre-update bytes) and redundant
+                # (the parity protects the new bytes): reclaim them.
+                self._drop_replica_copies(ent)
 
         if strategy == "delta":
             old = stripe.baseline[slot]
@@ -981,7 +1009,9 @@ class StagingRuntime:
         yield from self.busy(
             exec_sid, self.costs.encode_cost(stripe.k, stripe.m, stripe.shard_len), "encode"
         )
-        parities = yield from self.compute(lambda: self._encode_stripe(shards))
+        parities = yield from self.compute(
+            lambda: self._encode_stripe(shards), exclusive=False
+        )
         staged: list[tuple[StagingServer, str, np.ndarray]] = []
         for i, parity in enumerate(parities):
             psid = stripe.shard_servers[stripe.k + i]
@@ -1018,6 +1048,7 @@ class StagingRuntime:
     def _extract_locked(self, ent: BlockEntity, stripe: StripeInfo) -> Generator:
         slot = stripe.member_shard_index(ent.key)
         old = stripe.baseline[slot]
+        baseline_version = stripe.member_versions.get(ent.key, ent.version)
         psrv = self.server(ent.primary)
         if psrv.failed:
             raise DataLossError(f"cannot extract {ent.key}: its primary is down")
@@ -1027,6 +1058,7 @@ class StagingRuntime:
         def apply_state() -> None:
             if not psrv.has(primary_key(ent)):
                 psrv.store_bytes(primary_key(ent), old[: stripe.lengths[slot]].copy())
+                ent.stored_version = baseline_version
             stripe.vacate_slot(slot)
             stripe.lengths[slot] = 0
             stripe.baseline[slot] = None
@@ -1145,21 +1177,26 @@ class StagingRuntime:
             # Multiple copies raise the available read bandwidth: serve from
             # the least-loaded holder (paper Section IV case 5 — replication
             # "can increase data access bandwidth for concurrent requests").
+            # Only version-fresh replicas qualify — leftover copies kept
+            # through a drifted encode hold older bytes.
             src_sid, src_key = ent.primary, pkey
-            for r in ent.replicas:
-                rsrv = self.server(r)
-                if rsrv.has(replica_key(ent)) and rsrv.workload_level() < self.server(
-                    src_sid
-                ).workload_level():
-                    src_sid, src_key = r, replica_key(ent)
+            if ent.replica_version == ent.version:
+                for r in ent.replicas:
+                    rsrv = self.server(r)
+                    if rsrv.has(replica_key(ent)) and rsrv.workload_level() < self.server(
+                        src_sid
+                    ).workload_level():
+                        src_sid, src_key = r, replica_key(ent)
             src = self.server(src_sid)
             payload = src.fetch_bytes(src_key)
             yield from self.busy(src_sid, self.costs.lookup_cost(ent.nbytes), "store")
             yield from self.transfer(src.name, dst_name, ent.nbytes)
             return payload
 
-        # Replica fallback.
-        for r in ent.replicas:
+        # Replica fallback (version-fresh copies only: a stale replica
+        # would silently serve old bytes; the stripe path below decodes
+        # whatever the parity actually protects instead).
+        for r in ent.replicas if ent.replica_version == ent.version else ():
             rsrv = self.server(r)
             if rsrv.has(replica_key(ent)):
                 payload = rsrv.fetch_bytes(replica_key(ent))
@@ -1167,8 +1204,9 @@ class StagingRuntime:
                 if repair and not psrv.failed:
                     yield from self.transfer(rsrv.name, psrv.name, ent.nbytes, "recovery")
                     yield from self.busy(ent.primary, self.costs.store_cost(ent.nbytes), "recovery")
-                    if not psrv.failed:
+                    if not psrv.failed and not psrv.has(pkey):
                         psrv.store_bytes(pkey, payload)
+                        ent.stored_version = ent.replica_version
                         self.metrics.count("recovered_objects")
                 yield from self.transfer(rsrv.name, dst_name, ent.nbytes)
                 self.metrics.count("replica_reads")
@@ -1176,11 +1214,13 @@ class StagingRuntime:
 
         # Degraded decode from the stripe.
         if ent.stripe is not None:
+            decoded_version = ent.stripe.member_versions.get(ent.key, ent.version)
             payload = yield from self.degraded_read(ent, dst_name)
             if repair and not psrv.failed:
                 yield from self.busy(ent.primary, self.costs.store_cost(ent.nbytes), "recovery")
-                if not psrv.failed:
+                if not psrv.failed and not psrv.has(pkey):
                     psrv.store_bytes(pkey, payload)
+                    ent.stored_version = decoded_version
                     self.metrics.count("recovered_objects")
             return payload
 
@@ -1328,7 +1368,9 @@ class StagingRuntime:
         if self.tracer.enabled:
             hits0, misses0 = code.decode_cache_hits, code.decode_cache_misses
             calls0 = GF256.KERNEL_STATS["matmul_calls"]
-        payload = yield from self.compute(lambda: code.reconstruct_shard(present, target_idx))
+        payload = yield from self.compute(
+            lambda: code.reconstruct_shard(present, target_idx), exclusive=False
+        )
         if self.tracer.enabled:
             self.tracer.annotate(
                 executor=exec_sid,
@@ -1384,15 +1426,21 @@ class StagingRuntime:
         if dst.has(primary_key(ent)) and onto is None:
             return  # already there (repaired on access)
         payload = None
-        for r in ent.replicas:
+        payload_version = ent.version
+        # Version-fresh replicas first (cheap copy); a stale replica is
+        # skipped in favor of the stripe, which decodes what the parity
+        # actually protects.
+        for r in ent.replicas if ent.replica_version == ent.version else ():
             rsrv = self.server(r)
             if rsrv.has(replica_key(ent)):
                 payload = rsrv.fetch_bytes(replica_key(ent))
+                payload_version = ent.replica_version
                 yield from self.busy(r, self.costs.lookup_cost(ent.nbytes), "recovery")
                 yield from self.transfer(rsrv.name, dst.name, ent.nbytes, "recovery")
                 break
         if payload is None and ent.stripe is not None:
             slot = ent.stripe.member_shard_index(ent.key)
+            payload_version = ent.stripe.member_versions.get(ent.key, ent.version)
             padded, exec_sid = yield from self.reconstruct_shard(
                 ent.stripe, slot, category="recovery"
             )
@@ -1405,6 +1453,7 @@ class StagingRuntime:
         if dst.failed:
             raise DataLossError(f"server {dst_sid} failed during recovery of {ent.key}")
         dst.store_bytes(primary_key(ent), payload)
+        ent.stored_version = payload_version
         if onto is not None and onto != ent.primary:
             if ent.stripe is not None:
                 slot = ent.stripe.member_shard_index(ent.key)
@@ -1443,7 +1492,11 @@ class StagingRuntime:
         src_sid = None
         key = None
         psrv = self.server(ent.primary)
-        if psrv.has(primary_key(ent)):
+        # Source discipline: replica copies all hold ``replica_version``
+        # bytes.  The primary qualifies as a source only when its bytes
+        # match that version (a stale restored primary would make this
+        # copy diverge from its siblings under one version stamp).
+        if psrv.has(primary_key(ent)) and ent.stored_version == ent.replica_version:
             src_sid, key = ent.primary, primary_key(ent)
         else:
             for r in ent.replicas:

@@ -11,13 +11,21 @@ Within the discrete-event simulator a stripe's parity bytes are stored
 (and thus forced) before the next stripe's flow begins, so batches there
 are usually singletons — the deferral exists so the *data path* is
 batch-shaped: any caller that can hold several submissions open (bulk
-drains, the benchmark harness, a future non-simulated backend) gets
+drains, the benchmark harness, the live backend's worker pool) gets
 multi-stripe kernel passes with no API change, and the simulated cost
 model is untouched because deferral moves no simulator events.
+
+Thread-safety: the live backend flushes batches from parallel codec
+workers, so submission and flushing are guarded by a lock.  A flush
+takes ownership of every pending job before computing; a second thread
+asking for one of those jobs' results blocks on the batch condition
+until the owning flush publishes them (or fails, in which case the
+error propagates to every waiter).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -33,23 +41,32 @@ class PendingEncode:
 
     ``result()`` forces the owning batch: every job submitted so far is
     computed in one batched kernel flush, then this job's parity shards
-    are returned.
+    are returned.  If another thread's flush already took this job,
+    ``result()`` waits for that flush to publish instead of recomputing.
     """
 
-    __slots__ = ("_batch", "_payloads", "_result")
+    __slots__ = ("_batch", "_payloads", "_result", "_error")
 
     def __init__(self, batch: "CodingBatch", payloads: Sequence[np.ndarray]):
         self._batch = batch
         self._payloads = payloads
         self._result: list[np.ndarray] | None = None
+        self._error: BaseException | None = None
 
     @property
     def ready(self) -> bool:
         return self._result is not None
 
     def result(self) -> list[np.ndarray]:
-        if self._result is None:
+        if self._result is None and self._error is None:
             self._batch.flush()
+        if self._result is None and self._error is None:
+            # A concurrent flush owns this job; wait for it to publish.
+            with self._batch._cond:
+                while self._result is None and self._error is None:
+                    self._batch._cond.wait()
+        if self._error is not None:
+            raise self._error
         assert self._result is not None
         return self._result
 
@@ -65,6 +82,8 @@ class CodingBatch:
     def __init__(self, code: "RSCode", tracer=None):
         self.code = code
         self.tracer = tracer
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
         self._pending: list[PendingEncode] = []
         # Stats: how batchy the data path actually ran.
         self.jobs_submitted = 0
@@ -72,29 +91,42 @@ class CodingBatch:
         self.largest_flush = 0
 
     def __len__(self) -> int:
-        return len(self._pending)
+        with self._lock:
+            return len(self._pending)
 
     def submit_encode(self, payloads: Sequence[np.ndarray]) -> PendingEncode:
         """Queue one stripe's data shards for a later batched encode."""
         job = PendingEncode(self, payloads)
-        self._pending.append(job)
-        self.jobs_submitted += 1
+        with self._lock:
+            self._pending.append(job)
+            self.jobs_submitted += 1
         return job
 
     def flush(self) -> int:
         """Encode every pending job in one :meth:`RSCode.encode_batch` call.
 
-        Returns the number of jobs flushed.  Safe to call when empty.
+        Returns the number of jobs flushed.  Safe to call when empty and
+        from multiple threads: each flush owns the jobs it dequeued.
         """
-        if not self._pending:
-            return 0
-        jobs, self._pending = self._pending, []
-        results = self.code.encode_batch([job._payloads for job in jobs])
-        for job, parity in zip(jobs, results):
-            job._result = parity
-            job._payloads = ()
-        self.flushes += 1
-        self.largest_flush = max(self.largest_flush, len(jobs))
+        with self._lock:
+            if not self._pending:
+                return 0
+            jobs, self._pending = self._pending, []
+        try:
+            results = self.code.encode_batch([job._payloads for job in jobs])
+        except BaseException as exc:
+            with self._cond:
+                for job in jobs:
+                    job._error = exc
+                self._cond.notify_all()
+            raise
+        with self._cond:
+            for job, parity in zip(jobs, results):
+                job._result = parity
+                job._payloads = ()
+            self.flushes += 1
+            self.largest_flush = max(self.largest_flush, len(jobs))
+            self._cond.notify_all()
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.instant(
                 "coding.flush", category="encode_batch",

@@ -14,11 +14,15 @@ Several representations back the arithmetic:
 - **fused matrix kernels** for the stripe product ``M . D``: the per-cell
   gather loop, a log-domain variant with one gather per output row, a
   low/high **nibble-split** table variant (two 256x16 table gathers per
-  cell — the numpy analogue of ISA-L's SIMD shuffle kernel), and a
+  cell — the numpy analogue of ISA-L's SIMD shuffle kernel), a
   **paired-coefficient** variant that folds two matrix columns into one
   gather from a cached 64 KiB product table (halving both the gather and
   the XOR count, the way production RS stacks fold multiple coefficients
-  into one SIMD pass).
+  into one SIMD pass), and a **wide** variant that additionally packs up
+  to four *output rows* into one uint32 table entry — one gather applies
+  two coefficients to four rows at once, cutting the gather count a
+  further 4x — processed in L2-sized column chunks so every scratch
+  buffer stays cache-resident.
 
 Which matrix kernel runs is chosen by a tiny autotune benchmark at import
 (per shard-size class), overridable with ``REPRO_GF_KERNEL`` or
@@ -32,7 +36,9 @@ everything else is setup cost.
 
 from __future__ import annotations
 
+import ctypes
 import os
+import sys
 import threading
 import time
 from collections import OrderedDict
@@ -318,20 +324,27 @@ class GF256:
                 np.bitwise_xor(t1, t2, out=t1)
                 np.bitwise_xor(acc, t1, out=acc)
 
-    # Cache of paired-coefficient 64 KiB product tables keyed by the matrix
-    # bytes.  Generator matrices and decode matrices recur constantly, so
-    # table construction amortizes to zero; the bound keeps worst-case
-    # memory at a few tens of MiB.
+    # Caches of precomputed product tables keyed by the matrix bytes.
+    # Generator matrices and decode matrices recur constantly, so table
+    # construction amortizes to zero; the bounds keep worst-case memory at
+    # a few tens of MiB.  A single lock guards both caches: parallel codec
+    # passes share the same generator matrix, so lookups must be safe from
+    # any worker thread (builds happen outside the lock — a racing
+    # double-build costs one redundant table, never corruption).
+    _TABLE_LOCK = threading.Lock()
     _PAIR_TABLE_CACHE: OrderedDict[bytes, list[np.ndarray]] = OrderedDict()
     _PAIR_TABLE_CAP = 32
+    _WIDE_TABLE_CACHE: OrderedDict[bytes, list] = OrderedDict()
+    _WIDE_TABLE_CAP = 16
 
     @classmethod
     def _pair_tables(cls, mat: np.ndarray) -> list[np.ndarray]:
         key = mat.shape[1].to_bytes(2, "little") + mat.tobytes()
-        cached = cls._PAIR_TABLE_CACHE.get(key)
-        if cached is not None:
-            cls._PAIR_TABLE_CACHE.move_to_end(key)
-            return cached
+        with cls._TABLE_LOCK:
+            cached = cls._PAIR_TABLE_CACHE.get(key)
+            if cached is not None:
+                cls._PAIR_TABLE_CACHE.move_to_end(key)
+                return cached
         r, k = mat.shape
         tables = []
         for i in range(r):
@@ -341,9 +354,10 @@ class GF256:
                     cls.MUL[int(mat[i, j])], cls.MUL[int(mat[i, j + 1])]
                 ).ravel()
                 tables.append(np.ascontiguousarray(t))
-        while len(cls._PAIR_TABLE_CACHE) >= cls._PAIR_TABLE_CAP:
-            cls._PAIR_TABLE_CACHE.popitem(last=False)
-        cls._PAIR_TABLE_CACHE[key] = tables
+        with cls._TABLE_LOCK:
+            while len(cls._PAIR_TABLE_CACHE) >= cls._PAIR_TABLE_CAP:
+                cls._PAIR_TABLE_CACHE.popitem(last=False)
+            cls._PAIR_TABLE_CACHE[key] = tables
         return tables
 
     @classmethod
@@ -375,12 +389,144 @@ class GF256:
             for i in range(r):
                 cls.addmul_bytes(out[i], int(mat[i, j]), shards[j])
 
+    # Columns per internal chunk of the wide kernel.  16 Ki columns keeps
+    # the uint16 index (32 KiB), uint32 accumulator and gather scratch
+    # (64 KiB each) resident in L2 across the whole row-group pass.
+    WIDE_CHUNK = 1 << 14
+
+    # Lane order when unpacking a packed uint32 accumulator into its four
+    # uint8 output rows: on little-endian hosts byte b of the uint32 holds
+    # row bit b; big-endian reverses the lanes.
+    _LANE = tuple(range(4)) if sys.byteorder == "little" else tuple(range(3, -1, -1))
+
+    @classmethod
+    def _wide_tables(cls, mat: np.ndarray) -> list:
+        """Packed-row tables: groups of <=4 output rows share one gather.
+
+        For each row group and column pair ``(j, j+1)`` the 64 Ki-entry
+        uint32 table holds, at index ``(a << 8) | b``, the four products
+        ``mat[i, j]*a ^ mat[i, j+1]*b`` of the group's rows packed one per
+        byte lane.  An odd trailing column gets a 256-entry packed table.
+        """
+        key = mat.shape[1].to_bytes(2, "little") + mat.tobytes()
+        with cls._TABLE_LOCK:
+            cached = cls._WIDE_TABLE_CACHE.get(key)
+            if cached is not None:
+                cls._WIDE_TABLE_CACHE.move_to_end(key)
+                return cached
+        r, k = mat.shape
+        groups = []
+        for g0 in range(0, r, 4):
+            rows = range(g0, min(g0 + 4, r))
+            pair_tabs = []
+            for j in range(0, k - 1, 2):
+                t = np.zeros(1 << 16, dtype=np.uint32)
+                for bit, i in enumerate(rows):
+                    sub = np.bitwise_xor.outer(
+                        cls.MUL[int(mat[i, j])], cls.MUL[int(mat[i, j + 1])]
+                    ).ravel()
+                    t |= sub.astype(np.uint32) << np.uint32(8 * bit)
+                pair_tabs.append(t)
+            odd_tab = None
+            if k % 2:
+                odd_tab = np.zeros(256, dtype=np.uint32)
+                for bit, i in enumerate(rows):
+                    odd_tab |= cls.MUL[int(mat[i, k - 1])].astype(
+                        np.uint32
+                    ) << np.uint32(8 * bit)
+            groups.append((g0, len(rows), pair_tabs, odd_tab))
+        with cls._TABLE_LOCK:
+            while len(cls._WIDE_TABLE_CACHE) >= cls._WIDE_TABLE_CAP:
+                cls._WIDE_TABLE_CACHE.popitem(last=False)
+            cls._WIDE_TABLE_CACHE[key] = groups
+        return groups
+
+    @classmethod
+    def _kernel_wide(cls, mat: np.ndarray, shards: np.ndarray, out: np.ndarray) -> None:
+        """Packed-row kernel: one gather covers two columns x four rows.
+
+        On top of the pairs kernel's column fusion, up to four *output
+        rows* ride in the byte lanes of one uint32 table entry, cutting
+        the gather count another 4x for r >= 4 (and 3x for the canonical
+        RS(6,3) parity product).  Columns are processed in
+        :data:`WIDE_CHUNK`-sized chunks so all scratch stays cache-hot.
+        """
+        r, k = mat.shape
+        if r == 1:
+            # A single output row gains nothing from lane packing and
+            # would pay 4x the gather bandwidth; the pairs kernel is the
+            # same algorithm minus the packing.
+            cls._kernel_pairs(mat, shards, out)
+            return
+        length = shards.shape[1]
+        if length == 0:
+            return
+        groups = cls._wide_tables(mat)
+        chunk = min(length, cls.WIDE_CHUNK)
+        idx = _scratch("mm_w16", chunk, np.uint16)
+        idx_bytes = idx.view(np.uint8).reshape(chunk, 2)
+        acc = _scratch("mm_w32a", chunk, np.uint32)
+        tmp = _scratch("mm_w32b", chunk, np.uint32)
+        for a in range(0, length, chunk):
+            b = min(a + chunk, length)
+            n = b - a
+            acc_n, tmp_n = acc[:n], tmp[:n]
+            for g0, gr, pair_tabs, odd_tab in groups:
+                acc_n[...] = 0
+                for p, t in enumerate(pair_tabs):
+                    j = 2 * p
+                    # uint16 index (a << 8) | b via the little-endian byte
+                    # view, as in the pairs kernel.
+                    idx_bytes[:n, 1] = shards[j, a:b]
+                    idx_bytes[:n, 0] = shards[j + 1, a:b]
+                    np.take(t, idx[:n], out=tmp_n, mode="clip")
+                    np.bitwise_xor(acc_n, tmp_n, out=acc_n)
+                if odd_tab is not None:
+                    np.take(odd_tab, shards[k - 1, a:b], out=tmp_n, mode="clip")
+                    np.bitwise_xor(acc_n, tmp_n, out=acc_n)
+                lanes = acc_n.view(np.uint8).reshape(n, 4)
+                for bit in range(gr):
+                    row = out[g0 + bit, a:b]
+                    np.bitwise_xor(row, lanes[:, cls._LANE[bit]], out=row)
+
+    @classmethod
+    def _kernel_native(cls, mat: np.ndarray, shards: np.ndarray, out: np.ndarray) -> None:
+        """Compiled nibble-shuffle kernel (see ``_gf_matmul.c``).
+
+        Registered in ``_KERNELS`` only when :mod:`repro.erasure.native`
+        managed to build and load the shared object; rows are handed to C
+        as a pointer array, so strided row starts (column slices of a
+        larger product) need no compaction copy.
+        """
+        nat = cls._NATIVE
+        r, k = mat.shape
+        mat = np.ascontiguousarray(mat)
+        sp = (ctypes.c_void_p * k)()
+        base, ss = shards.ctypes.data, shards.strides[0]
+        for j in range(k):
+            sp[j] = base + j * ss
+        op = (ctypes.c_void_p * r)()
+        base, os_ = out.ctypes.data, out.strides[0]
+        for i in range(r):
+            op[i] = base + i * os_
+        nat.matmul_ptrs(mat, sp, op, shards.shape[1])
+
+    # Populated at module import (below) when the runtime-compiled kernel
+    # is available; None keeps the pure-numpy kernels in charge.
+    _NATIVE = None
+
+    @classmethod
+    def native_kernel(cls):
+        """The loaded native kernel handle, or None."""
+        return cls._NATIVE
+
     _KERNELS = {
         "reference": _kernel_reference,
         "table": _kernel_table,
         "logfused": _kernel_logfused,
         "nibble": _kernel_nibble,
         "pairs": _kernel_pairs,
+        "wide": _kernel_wide,
     }
 
     # Selected kernel per shard-size class; populated by the import-time
@@ -421,6 +567,48 @@ class GF256:
     def reset_kernel_stats(cls) -> None:
         for key in cls.KERNEL_STATS:
             cls.KERNEL_STATS[key] = 0
+
+    @classmethod
+    def matmul_rows(
+        cls,
+        mat: np.ndarray,
+        shard_rows,
+        out_rows,
+        offset: int = 0,
+        length: int | None = None,
+        accumulate: bool = False,
+    ) -> None:
+        """Fused product over *separate* row buffers — no stacking copy.
+
+        The zero-copy twin of :meth:`matmul_bytes`: ``shard_rows`` and
+        ``out_rows`` are sequences of contiguous uint8 arrays handed to
+        the native kernel as pointer arrays, so a stripe encode reads the
+        k payload buffers in place instead of first compacting them into
+        a (k, L) matrix.  ``offset``/``length`` select a column range,
+        which is how parallel passes split one large product across
+        workers without slicing copies.  Requires the native kernel
+        (callers check :meth:`native_kernel` and fall back to the stacked
+        path).
+        """
+        nat = cls._NATIVE
+        if nat is None:
+            raise RuntimeError("native GF kernel unavailable")
+        if length is None:
+            length = (len(shard_rows[0]) if shard_rows else 0) - offset
+        if not accumulate:
+            for row in out_rows:
+                row[offset : offset + length] = 0
+        if length <= 0 or not shard_rows:
+            return
+        mat = np.ascontiguousarray(mat, dtype=np.uint8)
+        cls.KERNEL_STATS["matmul_calls"] += 1
+        cls.KERNEL_STATS["native"] = cls.KERNEL_STATS.get("native", 0) + 1
+        nat.matmul_ptrs(
+            mat,
+            nat.row_ptrs(shard_rows, offset),
+            nat.row_ptrs(out_rows, offset),
+            length,
+        )
 
     @classmethod
     def matmul_bytes(
@@ -480,7 +668,9 @@ def _autotune(cls=GF256) -> dict[str, str]:
     """
     rng = np.random.default_rng(0x5EED)
     choices: dict[str, str] = {}
-    candidates = ("table", "logfused", "nibble", "pairs")
+    candidates = ("table", "logfused", "nibble", "pairs", "wide") + (
+        ("native",) if "native" in cls._KERNELS else ()
+    )
     for size_class, length, reps in (("small", 4096, 4), ("large", 1 << 18, 2)):
         mat = rng.integers(1, 256, (3, 6), dtype=np.uint8)
         shards = rng.integers(0, 256, (6, length), dtype=np.uint8)
@@ -500,6 +690,15 @@ def _autotune(cls=GF256) -> dict[str, str]:
         choices[size_class] = best
     return choices
 
+
+# Best-effort native kernel: registered before the autotune race (and the
+# env-override validation) so a successful build competes like any other
+# kernel and REPRO_GF_KERNEL=native is accepted.
+from repro.erasure import native as _native  # noqa: E402  (needs GF256 defined)
+
+GF256._NATIVE = _native.load()
+if GF256._NATIVE is not None:
+    GF256._KERNELS["native"] = GF256.__dict__["_kernel_native"]
 
 _forced = os.environ.get("REPRO_GF_KERNEL")
 if _forced:

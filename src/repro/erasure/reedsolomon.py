@@ -19,9 +19,10 @@ layer.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -96,20 +97,39 @@ class RSCode:
         self.decode_cache_hits = 0
         self.decode_cache_misses = 0
         self.decode_cache_evictions = 0
+        # The matrix caches (and their counters) are the only mutable
+        # state a codec pass touches, so locking them is all it takes to
+        # make every coding method safe from concurrent worker threads
+        # (kernel scratch is thread-local; kernel table caches carry their
+        # own lock).  RLock: _reconstruct_row nests into _decode_matrix.
+        self._cache_lock = threading.RLock()
+        # Optional fan-out hook for the payload-dimension kernel passes:
+        # when set (the live backend installs its codec pool here), a
+        # product over at least ``parallel_min_bytes`` of input is split
+        # into ~``parallel_chunk_bytes`` column ranges and the resulting
+        # thunks are handed to ``parallel_map`` to run concurrently.
+        # Columns of a GF matrix product are independent, so any split is
+        # byte-identical to the serial pass.  ``None`` = fully serial.
+        self.parallel_map: Callable[[Sequence[Callable[[], Any]]], Any] | None = None
+        self.parallel_min_bytes = 1 << 18
+        self.parallel_chunk_bytes = 1 << 20
+        self.parallel_max_tasks = 16
+        self.parallel_stats = {"passes": 0, "tasks": 0, "serial_passes": 0}
 
     def _decode_matrix(self, chosen: tuple[int, ...]) -> np.ndarray:
-        cached = self._decode_cache.get(chosen)
-        if cached is not None:
-            self.decode_cache_hits += 1
-            self._decode_cache.move_to_end(chosen)
-            return cached
-        self.decode_cache_misses += 1
-        inv = GFMatrix(self.generator.a[list(chosen)]).invert().a
-        while len(self._decode_cache) >= self.decode_cache_capacity:
-            self._decode_cache.popitem(last=False)
-            self.decode_cache_evictions += 1
-        self._decode_cache[chosen] = inv
-        return inv
+        with self._cache_lock:
+            cached = self._decode_cache.get(chosen)
+            if cached is not None:
+                self.decode_cache_hits += 1
+                self._decode_cache.move_to_end(chosen)
+                return cached
+            self.decode_cache_misses += 1
+            inv = GFMatrix(self.generator.a[list(chosen)]).invert().a
+            while len(self._decode_cache) >= self.decode_cache_capacity:
+                self._decode_cache.popitem(last=False)
+                self.decode_cache_evictions += 1
+            self._decode_cache[chosen] = inv
+            return inv
 
     def warm_decode_cache(self, patterns: Iterable[tuple[int, ...]]) -> int:
         """Precompute decode matrices for the given survivor sets.
@@ -141,13 +161,97 @@ class RSCode:
             raise ValueError(f"shards must be equal length, got {sorted(lengths)}")
         return np.stack(mats, axis=0)
 
+    @staticmethod
+    def _as_rows(shards: Sequence[np.ndarray]) -> tuple[list[np.ndarray], int]:
+        """Normalize shards to contiguous uint8 rows *without* stacking."""
+        rows = [np.ascontiguousarray(s, dtype=np.uint8).ravel() for s in shards]
+        lengths = {r.size for r in rows}
+        if len(lengths) > 1:
+            raise ValueError(f"shards must be equal length, got {sorted(lengths)}")
+        return rows, (lengths.pop() if lengths else 0)
+
+    # -- parallel product plumbing --------------------------------------
+    def _n_tasks(self, work_bytes: int) -> int:
+        if self.parallel_map is None or work_bytes < self.parallel_min_bytes:
+            return 1
+        return max(
+            1, min(self.parallel_max_tasks, work_bytes // self.parallel_chunk_bytes)
+        )
+
+    @staticmethod
+    def _bounds(length: int, n_tasks: int) -> list[tuple[int, int]]:
+        # Contiguous column ranges, SIMD/cache-line aligned at 4 KiB.
+        step = -(-length // n_tasks)
+        step = (step + 4095) & ~4095
+        return [(a, min(a + step, length)) for a in range(0, length, step)]
+
+    def _product_tasks(
+        self, mat: np.ndarray, rows: Sequence[np.ndarray], length: int
+    ) -> tuple[list[Callable[[], None]], Callable[[], list[np.ndarray]]]:
+        """Build the kernel thunks for ``mat . rows`` plus a result thunk.
+
+        With the native kernel loaded, rows are passed by pointer and the
+        parity rows come back as independent arrays — no (k, L) stacking
+        copy ever happens.  The numpy fallback stacks once and splits the
+        same way.  Either way the column split is byte-exact: each task
+        writes a disjoint column range of the output.
+        """
+        r = mat.shape[0]
+        n_tasks = self._n_tasks(len(rows) * length) if length else 1
+        if GF256.native_kernel() is not None:
+            outs = [np.empty(length, dtype=np.uint8) for _ in range(r)]
+            if n_tasks <= 1:
+                tasks = [lambda: GF256.matmul_rows(mat, rows, outs, length=length)]
+            else:
+                tasks = [
+                    lambda a=a, b=b: GF256.matmul_rows(
+                        mat, rows, outs, offset=a, length=b - a
+                    )
+                    for a, b in self._bounds(length, n_tasks)
+                ]
+            return tasks, lambda: outs
+        stacked = (
+            rows[0].reshape(1, -1) if len(rows) == 1 else np.stack(rows, axis=0)
+        )
+        out = np.empty((r, length), dtype=np.uint8)
+        if n_tasks <= 1:
+            tasks = [lambda: GF256.matmul_bytes(mat, stacked, out=out)]
+        else:
+            tasks = [
+                lambda a=a, b=b: GF256.matmul_bytes(
+                    mat, stacked[:, a:b], out=out[:, a:b]
+                )
+                for a, b in self._bounds(length, n_tasks)
+            ]
+        return tasks, lambda: [out[i] for i in range(r)]
+
+    def _run_tasks(self, tasks: Sequence[Callable[[], None]]) -> None:
+        pm = self.parallel_map
+        if pm is not None and len(tasks) > 1:
+            self.parallel_stats["passes"] += 1
+            self.parallel_stats["tasks"] += len(tasks)
+            pm(tasks)
+            return
+        if pm is not None:
+            self.parallel_stats["serial_passes"] += 1
+        for task in tasks:
+            task()
+
+    def _product(
+        self, mat: np.ndarray, rows: Sequence[np.ndarray], length: int
+    ) -> list[np.ndarray]:
+        tasks, result = self._product_tasks(mat, rows, length)
+        self._run_tasks(tasks)
+        return result()
+
     def encode(self, data_shards: Sequence[np.ndarray]) -> list[np.ndarray]:
         """Compute the ``m`` parity shards for ``k`` data shards."""
-        d = self._as_shard_matrix(data_shards)
-        if d.shape[0] != self.k:
-            raise ValueError(f"expected {self.k} data shards, got {d.shape[0]}")
-        parity = GF256.matmul_bytes(self.parity_rows, d)
-        return [parity[i] for i in range(self.m)]
+        rows, length = self._as_rows(data_shards)
+        if len(rows) != self.k:
+            raise ValueError(f"expected {self.k} data shards, got {len(rows)}")
+        if self.m == 0:
+            return []
+        return self._product(self.parity_rows, rows, length)
 
     def encode_batch(
         self, stripes: Sequence[Sequence[np.ndarray]]
@@ -161,28 +265,44 @@ class RSCode:
         shards staging actually produces.  Results are byte-identical to
         calling :meth:`encode` per stripe, in input order.
         """
-        mats: list[np.ndarray] = []
+        mats: list[list[np.ndarray]] = []
+        lengths: list[int] = []
         for shards in stripes:
-            d = self._as_shard_matrix(shards)
-            if d.shape[0] != self.k:
-                raise ValueError(f"expected {self.k} data shards, got {d.shape[0]}")
-            mats.append(d)
+            rows, length = self._as_rows(shards)
+            if len(rows) != self.k:
+                raise ValueError(f"expected {self.k} data shards, got {len(rows)}")
+            mats.append(rows)
+            lengths.append(length)
         if self.m == 0:
             return [[] for _ in mats]
         out: list[list[np.ndarray] | None] = [None] * len(mats)
         by_len: dict[int, list[int]] = {}
-        for idx, d in enumerate(mats):
-            by_len.setdefault(d.shape[1], []).append(idx)
+        for idx, length in enumerate(lengths):
+            by_len.setdefault(length, []).append(idx)
+        # One fused product per shard-length group, with every group's
+        # column-split thunks gathered into a single parallel pass.
+        tasks: list[Callable[[], None]] = []
+        finishers: list[tuple[Callable[[], list[np.ndarray]], list[int], int]] = []
         for length, idxs in by_len.items():
-            stacked = (
-                mats[idxs[0]]
-                if len(idxs) == 1
-                else np.concatenate([mats[i] for i in idxs], axis=1)
-            )
-            parity = GF256.matmul_bytes(self.parity_rows, stacked)
+            if len(idxs) == 1:
+                rows = mats[idxs[0]]
+                width = length
+            else:
+                rows = [
+                    np.concatenate([mats[i][j] for i in idxs]) for j in range(self.k)
+                ]
+                width = length * len(idxs)
+            group_tasks, result = self._product_tasks(self.parity_rows, rows, width)
+            tasks.extend(group_tasks)
+            finishers.append((result, idxs, length))
+        self._run_tasks(tasks)
+        for result, idxs, length in finishers:
+            parity = result()
             for pos, idx in enumerate(idxs):
-                block = parity[:, pos * length : (pos + 1) * length]
-                out[idx] = [np.ascontiguousarray(block[i]) for i in range(self.m)]
+                out[idx] = [
+                    np.ascontiguousarray(p[pos * length : (pos + 1) * length])
+                    for p in parity
+                ]
         return out  # type: ignore[return-value]
 
     def decode_batch(
@@ -212,25 +332,44 @@ class RSCode:
                 plans.append((idx, None, data))
                 continue
             chosen = tuple(sorted(present.keys())[: self.k])
-            plans.append((idx, chosen, self._as_shard_matrix([present[i] for i in chosen])))
+            rows, length = self._as_rows([present[i] for i in chosen])
+            plans.append((idx, chosen, (rows, length)))
         out: list[list[np.ndarray] | None] = [None] * len(jobs)
-        groups: dict[tuple[tuple[int, ...], int], list[tuple[int, np.ndarray]]] = {}
+        groups: dict[
+            tuple[tuple[int, ...], int], list[tuple[int, list[np.ndarray]]]
+        ] = {}
         for idx, chosen, payload in plans:
             if chosen is None:
                 out[idx] = payload  # all data shards survived; nothing to invert
             else:
-                groups.setdefault((chosen, payload.shape[1]), []).append((idx, payload))
+                rows, length = payload
+                groups.setdefault((chosen, length), []).append((idx, rows))
+        tasks: list[Callable[[], None]] = []
+        finishers: list[
+            tuple[Callable[[], list[np.ndarray]], list[tuple[int, list[np.ndarray]]], int]
+        ] = []
         for (chosen, length), members in groups.items():
             inv = self._decode_matrix(chosen)
-            stacked = (
-                members[0][1]
-                if len(members) == 1
-                else np.concatenate([mat for _, mat in members], axis=1)
-            )
-            data = GF256.matmul_bytes(inv, stacked)
+            if len(members) == 1:
+                rows = members[0][1]
+                width = length
+            else:
+                rows = [
+                    np.concatenate([mrows[j] for _, mrows in members])
+                    for j in range(self.k)
+                ]
+                width = length * len(members)
+            group_tasks, result = self._product_tasks(inv, rows, width)
+            tasks.extend(group_tasks)
+            finishers.append((result, members, length))
+        self._run_tasks(tasks)
+        for result, members, length in finishers:
+            data = result()
             for pos, (idx, _) in enumerate(members):
-                block = data[:, pos * length : (pos + 1) * length]
-                out[idx] = [np.ascontiguousarray(block[i]) for i in range(self.k)]
+                out[idx] = [
+                    np.ascontiguousarray(d[pos * length : (pos + 1) * length])
+                    for d in data
+                ]
         return out  # type: ignore[return-value]
 
     def update_parity(
@@ -304,11 +443,10 @@ class RSCode:
         # Choose k surviving rows, preferring data shards (cheaper rows).
         chosen = tuple(sorted(present.keys())[: self.k])
         inv = self._decode_matrix(chosen)
-        shard_mat = self._as_shard_matrix([present[i] for i in chosen])
-        if shard_len is not None and shard_mat.shape[1] != shard_len:
+        rows, length = self._as_rows([present[i] for i in chosen])
+        if shard_len is not None and length != shard_len:
             raise ValueError("shard length mismatch")
-        data = GF256.matmul_bytes(inv, shard_mat)
-        return [data[i] for i in range(self.k)]
+        return self._product(inv, rows, length)
 
     def _reconstruct_row(self, chosen: tuple[int, ...], target: int) -> np.ndarray:
         """The 1 x k row r with ``shard[target] = r . chosen_shards``.
@@ -320,27 +458,28 @@ class RSCode:
         decode matrices because recovery replays the same erasure patterns.
         """
         key = (chosen, target)
-        cached = self._row_cache.get(key)
-        if cached is not None:
-            self._row_cache.move_to_end(key)
-            return cached
-        if chosen == tuple(range(self.k)):
-            # All data shards survive: a parity target is its generator row.
-            row = self.parity_rows[target - self.k : target - self.k + 1].copy()
-        else:
-            inv = self._decode_matrix(chosen)
-            if target < self.k:
-                row = inv[target : target + 1].copy()
+        with self._cache_lock:
+            cached = self._row_cache.get(key)
+            if cached is not None:
+                self._row_cache.move_to_end(key)
+                return cached
+            if chosen == tuple(range(self.k)):
+                # All data shards survive: a parity target is its generator row.
+                row = self.parity_rows[target - self.k : target - self.k + 1].copy()
             else:
-                prow = self.parity_rows[target - self.k]
-                acc = np.zeros(self.k, dtype=np.uint8)
-                for j in range(self.k):
-                    GF256.addmul_bytes(acc, int(prow[j]), inv[j])
-                row = acc.reshape(1, self.k)
-        while len(self._row_cache) >= self.decode_cache_capacity:
-            self._row_cache.popitem(last=False)
-        self._row_cache[key] = row
-        return row
+                inv = self._decode_matrix(chosen)
+                if target < self.k:
+                    row = inv[target : target + 1].copy()
+                else:
+                    prow = self.parity_rows[target - self.k]
+                    acc = np.zeros(self.k, dtype=np.uint8)
+                    for j in range(self.k):
+                        GF256.addmul_bytes(acc, int(prow[j]), inv[j])
+                    row = acc.reshape(1, self.k)
+            while len(self._row_cache) >= self.decode_cache_capacity:
+                self._row_cache.popitem(last=False)
+            self._row_cache[key] = row
+            return row
 
     def reconstruct_shard(self, present: dict[int, np.ndarray], target: int) -> np.ndarray:
         """Reconstruct one stripe shard (data *or* parity) by index.
@@ -363,8 +502,8 @@ class RSCode:
                 raise IndexError(f"shard index {idx} out of range 0..{self.n - 1}")
         chosen = tuple(sorted(present.keys())[: self.k])
         row = self._reconstruct_row(chosen, target)
-        shard_mat = self._as_shard_matrix([present[i] for i in chosen])
-        return GF256.matmul_bytes(row, shard_mat)[0]
+        rows, length = self._as_rows([present[i] for i in chosen])
+        return self._product(row, rows, length)[0]
 
 
 @dataclass

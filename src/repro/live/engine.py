@@ -35,6 +35,7 @@ worker threads.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 import weakref
 from collections import deque
@@ -63,7 +64,12 @@ class LiveProcessError(RuntimeError):
 class LiveEngine:
     """Asyncio-backed implementation of the :class:`repro.core.backend.Clock`."""
 
-    def __init__(self, time_scale: float = 0.0, max_workers: int | None = None):
+    def __init__(
+        self,
+        time_scale: float = 0.0,
+        max_workers: int | None = None,
+        codec_workers: int | None = None,
+    ):
         self.loop = asyncio.get_running_loop()
         self.time_scale = float(time_scale)
         self._t0 = time.monotonic()
@@ -87,6 +93,16 @@ class LiveEngine:
         self._processes: weakref.WeakSet[Process] = weakref.WeakSet()
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-live"
+        )
+        # Separate pool for *leaf* codec tasks (column splits of one kernel
+        # pass).  Offloaded passes run on ``_executor`` workers and fan
+        # their splits out here; keeping the pools distinct means a pass
+        # can never deadlock waiting for splits behind other whole passes.
+        if codec_workers is None:
+            codec_workers = min(8, (os.cpu_count() or 1))
+        self.codec_workers = codec_workers
+        self._codec_executor = ThreadPoolExecutor(
+            max_workers=codec_workers, thread_name_prefix="repro-codec"
         )
         self._closed = False
 
@@ -208,6 +224,39 @@ class LiveEngine:
         fut.add_done_callback(_done)
         return ev
 
+    def codec_map(self, tasks: list[Callable[[], None]]) -> None:
+        """Run one kernel pass's column-split tasks across the codec pool.
+
+        This is the :attr:`RSCode.parallel_map` hook for live deployments:
+        the codec layer hands over independent closures (each writing a
+        disjoint byte range), and they execute concurrently — the native
+        GF kernel releases the GIL for the duration of the C call, so the
+        splits genuinely overlap.  The first task runs inline on the
+        calling thread (usually an ``offload`` worker): only *leaf* tasks
+        ever enter the codec pool, so nested submission deadlock is
+        impossible, and a single-task pass costs no handoff at all.
+        Exceptions propagate to the caller after every task has finished
+        (no split is left half-written when a sibling fails).
+        """
+        if len(tasks) <= 1 or self._closed:
+            for task in tasks:
+                task()
+            return
+        futs = [self._codec_executor.submit(task) for task in tasks[1:]]
+        first_exc: BaseException | None = None
+        try:
+            tasks[0]()
+        except BaseException as exc:
+            first_exc = exc
+        for fut in futs:
+            try:
+                fut.result()
+            except BaseException as exc:
+                if first_exc is None:
+                    first_exc = exc
+        if first_exc is not None:
+            raise first_exc
+
     def wait(self, event: Event) -> asyncio.Future:
         """Bridge a process-model event to an awaitable."""
         fut = self.loop.create_future()
@@ -270,3 +319,4 @@ class LiveEngine:
         if not self._closed:
             self._closed = True
             self._executor.shutdown(wait=True, cancel_futures=True)
+            self._codec_executor.shutdown(wait=True, cancel_futures=True)

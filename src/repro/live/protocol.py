@@ -12,6 +12,26 @@ bytes ride behind it untouched (no base64, no JSON inflation).  Requests
 carry ``op`` plus op-specific fields; responses carry ``ok`` plus result
 fields, or ``ok: false`` with ``error``/``error_type`` on failure.
 
+Zero-copy framing
+-----------------
+Payload bytes are never concatenated in this module: a frame is built as
+a *list* of buffers (:func:`frame_parts`) — one small prefix holding the
+length word plus the JSON header, then the payload buffers exactly as
+the caller handed them over (``memoryview``\\ s over numpy arrays, block
+slices, …).  Senders hand the list to a scatter/gather primitive —
+``StreamWriter.writelines`` on the asyncio side, ``socket.sendmsg`` on
+the blocking client — and receivers land bytes directly into one
+preallocated buffer (``recv_into``) and return ``memoryview`` slices of
+it.  :data:`PROTO_STATS` counts the payload copies that do happen (only
+the legacy :func:`_encode_frame` join performs one), so tests can assert
+the hot path stays at zero.
+
+Hot-path header encoding: ``json.dumps`` of a per-request dict shows up
+at GB/s payload rates, so stable header fields can be pre-serialized
+once into a :func:`header_preamble` and reused — only the payload length
+is appended per frame.  :class:`LiveClient` caches preambles per
+(op, var, region) key.
+
 Operations
 ----------
 ``ping``, ``put``, ``get``, ``query``, ``step``, ``flush``, ``quiesce``,
@@ -29,13 +49,16 @@ from __future__ import annotations
 import json
 import socket
 import struct
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
 __all__ = [
     "ProtocolError",
     "RemoteOpError",
+    "PROTO_STATS",
+    "frame_parts",
+    "header_preamble",
     "read_frame",
     "write_frame",
     "LiveClient",
@@ -44,6 +67,18 @@ __all__ = [
 _LEN = struct.Struct("<I")
 MAX_HEADER_BYTES = 1 << 20
 MAX_PAYLOAD_BYTES = 1 << 30
+
+#: Copy accounting for the payload path.  ``payload_copies`` /
+#: ``bytes_copied`` count every place this module materializes payload
+#: bytes it already held in another buffer; the scatter/gather send and
+#: recv_into receive paths never increment them.
+PROTO_STATS = {
+    "frames_out": 0,
+    "frames_in": 0,
+    "payload_copies": 0,
+    "bytes_copied": 0,
+    "preamble_hits": 0,
+}
 
 
 class ProtocolError(RuntimeError):
@@ -58,16 +93,92 @@ class RemoteOpError(RuntimeError):
         self.error_type = error_type
 
 
-def _encode_frame(header: dict[str, Any], payload: bytes | memoryview = b"") -> bytes:
-    header = dict(header)
-    header["payload_len"] = len(payload)
+Buffer = Any  # bytes | bytearray | memoryview | numpy array view
+
+
+def _payload_list(payload: Buffer | Sequence[Buffer]) -> list[memoryview]:
+    """Normalize one buffer or a sequence of buffers to flat byte views.
+
+    Only ``list``/``tuple`` are treated as scatter/gather part sequences;
+    anything else exposing the buffer protocol (bytes, memoryview, numpy
+    array, ...) is one buffer — iterating it element-wise would shred an
+    array into thousands of scalar "parts".
+    """
+    parts = list(payload) if isinstance(payload, (list, tuple)) else [payload]
+    views = []
+    for part in parts:
+        view = part if isinstance(part, memoryview) else memoryview(part)
+        if view.format != "B" or view.ndim != 1:
+            view = view.cast("B")
+        if view.nbytes:
+            views.append(view)
+    return views
+
+
+def header_preamble(header: dict[str, Any]) -> bytes:
+    """Pre-serialize a header's stable fields, ready for length append.
+
+    Returns the compact JSON encoding of ``header`` minus the closing
+    brace, ending in ``,"payload_len":`` — a frame prefix is completed by
+    appending the decimal payload length and ``}``.  Callers that send
+    many frames with identical metadata serialize the dict once instead
+    of per frame (:class:`LiveClient` keeps a small cache).
+    """
     raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if raw == b"{}":
+        return b'{"payload_len":'
+    return raw[:-1] + b',"payload_len":'
+
+
+def _prefix(preamble: bytes, payload_len: int) -> bytes:
+    raw = preamble + str(payload_len).encode("ascii") + b"}"
     if len(raw) > MAX_HEADER_BYTES:
         raise ProtocolError(f"header too large ({len(raw)} bytes)")
-    return _LEN.pack(len(raw)) + raw + bytes(payload)
+    return _LEN.pack(len(raw)) + raw
 
 
-def _decode_header(raw: bytes) -> dict[str, Any]:
+def frame_parts(
+    header: dict[str, Any] | None,
+    payload: Buffer | Sequence[Buffer] = b"",
+    preamble: bytes | None = None,
+) -> list[Buffer]:
+    """Build one frame as a buffer list — no payload bytes are copied.
+
+    The first element is the length word + JSON header (one small bytes
+    object); the rest are the payload buffers exactly as given.  Pass a
+    cached ``preamble`` (from :func:`header_preamble`) to skip the JSON
+    encoding of the stable header fields entirely.
+    """
+    views = _payload_list(payload)
+    plen = sum(v.nbytes for v in views)
+    if plen > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"payload too large ({plen} bytes)")
+    if preamble is None:
+        preamble = header_preamble(header or {})
+    else:
+        PROTO_STATS["preamble_hits"] += 1
+    PROTO_STATS["frames_out"] += 1
+    return [_prefix(preamble, plen), *views]
+
+
+def _encode_frame(header: dict[str, Any], payload: bytes | memoryview = b"") -> bytes:
+    """Legacy single-buffer framing: joins the parts (copies the payload).
+
+    Kept for tests and for callers that genuinely need one contiguous
+    buffer; the data plane uses :func:`frame_parts` + scatter/gather
+    sends instead.
+    """
+    parts = frame_parts(header, payload)
+    plen = sum(memoryview(p).nbytes for p in parts[1:])
+    if plen:
+        PROTO_STATS["payload_copies"] += 1
+        PROTO_STATS["bytes_copied"] += plen
+    return b"".join(bytes(p) if not isinstance(p, bytes) else p for p in parts)
+
+
+def _decode_header(raw: bytes | bytearray | memoryview) -> dict[str, Any]:
+    if isinstance(raw, memoryview):
+        raw = bytes(raw)  # headers are small; payload never passes through here
     try:
         header = json.loads(raw.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -84,7 +195,13 @@ def _decode_header(raw: bytes) -> dict[str, Any]:
 # asyncio framing (server side)
 # ---------------------------------------------------------------------------
 async def read_frame(reader) -> tuple[dict[str, Any], bytes]:
-    """Read one frame; raises ``EOFError`` on clean connection close."""
+    """Read one frame; raises ``EOFError`` on clean connection close.
+
+    The payload lands in the single buffer ``readexactly`` returns —
+    that is its final resting place on this side (``np.frombuffer``
+    wraps it without copying), so the receive path contributes no
+    intermediate copies.
+    """
     try:
         head = await reader.readexactly(_LEN.size)
     except Exception as exc:  # IncompleteReadError or closed transport
@@ -94,11 +211,20 @@ async def read_frame(reader) -> tuple[dict[str, Any], bytes]:
         raise ProtocolError(f"bad header length {hlen}")
     header = _decode_header(await reader.readexactly(hlen))
     payload = await reader.readexactly(header["payload_len"]) if header["payload_len"] else b""
+    PROTO_STATS["frames_in"] += 1
     return header, payload
 
 
-async def write_frame(writer, header: dict[str, Any], payload: bytes | memoryview = b"") -> None:
-    writer.write(_encode_frame(header, payload))
+async def write_frame(
+    writer, header: dict[str, Any], payload: Buffer | Sequence[Buffer] = b""
+) -> None:
+    """Scatter/gather frame send: no payload concatenation in our code.
+
+    ``payload`` may be one buffer or a list of buffers (e.g. a get
+    response's block views); ``writelines`` hands the list to the
+    transport as-is.
+    """
+    writer.writelines(frame_parts(header, payload))
     await writer.drain()
 
 
@@ -110,32 +236,73 @@ class LiveClient:
 
     Not thread-safe: use one client per thread/process.  Ops raise
     :class:`RemoteOpError` when the server reports a failure.
+
+    Payload discipline: requests are sent with ``socket.sendmsg`` (vectored,
+    no join), responses land via ``recv_into`` one preallocated buffer and
+    get/``request`` return ``memoryview`` slices of it — zero intermediate
+    copies in either direction.  The views stay valid indefinitely (each
+    response owns its buffer) but a new request allocates a new one, so
+    hold ``bytes(view)`` if you need the data past the next call *and*
+    want independence from the buffer's lifetime.
     """
 
     def __init__(self, host: str, port: int, name: str = "client", timeout: float | None = 60.0):
         self.name = name
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # op/var/region header preambles, serialized once per distinct key.
+        self._preambles: dict[tuple, bytes] = {}
 
     # -- framing -------------------------------------------------------
-    def _recv_exactly(self, n: int) -> bytes:
-        chunks = []
-        remaining = n
-        while remaining:
-            chunk = self.sock.recv(min(remaining, 1 << 20))
-            if not chunk:
-                raise EOFError("server closed the connection")
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(chunks)
+    def _send_parts(self, parts: list[Buffer]) -> None:
+        """Vectored send with partial-send continuation."""
+        views = [p if isinstance(p, memoryview) else memoryview(p) for p in parts]
+        views = [v if v.format == "B" and v.ndim == 1 else v.cast("B") for v in views]
+        while views:
+            sent = self.sock.sendmsg(views)
+            while sent:
+                if sent >= views[0].nbytes:
+                    sent -= views[0].nbytes
+                    views.pop(0)
+                else:
+                    views[0] = views[0][sent:]
+                    sent = 0
+            views = [v for v in views if v.nbytes]
 
-    def request(self, header: dict[str, Any], payload: bytes = b"") -> tuple[dict[str, Any], bytes]:
-        self.sock.sendall(_encode_frame(header, payload))
+    def _recv_exactly(self, n: int) -> memoryview:
+        """Receive exactly ``n`` bytes into one fresh buffer (no joins)."""
+        buf = bytearray(n)
+        view = memoryview(buf)
+        got = 0
+        while got < n:
+            nread = self.sock.recv_into(view[got:], n - got)
+            if nread == 0:
+                raise EOFError("server closed the connection")
+            got += nread
+        return view
+
+    def _cached_preamble(self, key: tuple, header: dict[str, Any]) -> bytes:
+        pre = self._preambles.get(key)
+        if pre is None:
+            pre = header_preamble(header)
+            if len(self._preambles) >= 256:  # bound memory under key churn
+                self._preambles.clear()
+            self._preambles[key] = pre
+        return pre
+
+    def request(
+        self,
+        header: dict[str, Any],
+        payload: Buffer | Sequence[Buffer] = b"",
+        preamble: bytes | None = None,
+    ) -> tuple[dict[str, Any], memoryview]:
+        self._send_parts(frame_parts(header, payload, preamble=preamble))
         (hlen,) = _LEN.unpack(self._recv_exactly(_LEN.size))
         if hlen == 0 or hlen > MAX_HEADER_BYTES:
             raise ProtocolError(f"bad header length {hlen}")
         resp = _decode_header(self._recv_exactly(hlen))
-        body = self._recv_exactly(resp["payload_len"]) if resp["payload_len"] else b""
+        body = self._recv_exactly(resp["payload_len"]) if resp["payload_len"] else memoryview(b"")
+        PROTO_STATS["frames_in"] += 1
         if not resp.get("ok", False):
             raise RemoteOpError(resp.get("error_type", "Error"), resp.get("error", "unknown"))
         return resp, body
@@ -148,24 +315,29 @@ class LiveClient:
     def put(self, var: str, lb, ub, data: np.ndarray | None = None) -> float:
         header = {"op": "put", "client": self.name, "var": var,
                   "lb": list(lb), "ub": list(ub)}
-        payload = b""
+        payload: Buffer = b""
+        key = ("put", var, tuple(lb), tuple(ub), None)
         if data is not None:
             arr = np.ascontiguousarray(data)
             header["dtype"] = str(arr.dtype)
-            payload = arr.tobytes()
-        resp, _ = self.request(header, payload)
+            payload = memoryview(arr).cast("B")  # zero-copy view of the array
+            key = ("put", var, tuple(lb), tuple(ub), header["dtype"])
+        resp, _ = self.request(header, payload, preamble=self._cached_preamble(key, header))
         return float(resp["duration"])
 
-    def get(self, var: str, lb, ub, verify: bool | None = None) -> tuple[float, dict[int, bytes]]:
+    def get(
+        self, var: str, lb, ub, verify: bool | None = None
+    ) -> tuple[float, dict[int, memoryview]]:
         header = {"op": "get", "client": self.name, "var": var,
                   "lb": list(lb), "ub": list(ub)}
         if verify is not None:
             header["verify"] = bool(verify)
-        resp, body = self.request(header)
-        blocks: dict[int, bytes] = {}
+        key = ("get", var, tuple(lb), tuple(ub), verify)
+        resp, body = self.request(header, preamble=self._cached_preamble(key, header))
+        blocks: dict[int, memoryview] = {}
         off = 0
         for bid, nbytes in resp["blocks"]:
-            blocks[int(bid)] = body[off:off + nbytes]
+            blocks[int(bid)] = body[off:off + nbytes]  # zero-copy slice
             off += nbytes
         return float(resp["duration"]), blocks
 

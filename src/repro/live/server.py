@@ -96,7 +96,7 @@ class LiveServer:
     def _bbox(self, header: dict[str, Any]) -> BBox:
         return BBox(tuple(header["lb"]), tuple(header["ub"]))
 
-    async def _dispatch(self, header: dict[str, Any], payload: bytes) -> tuple[dict, bytes]:
+    async def _dispatch(self, header: dict[str, Any], payload: bytes) -> tuple[dict, Any]:
         op = header.get("op")
         live = self.live
         if op == "ping":
@@ -119,10 +119,12 @@ class LiveServer:
             blocks = []
             chunks = []
             for bid in sorted(payloads):
+                # Zero-copy: ship a memoryview over the block's array; the
+                # scatter/gather write_frame sends the list without joining.
                 buf = np.ascontiguousarray(payloads[bid], dtype=np.uint8)
                 blocks.append([int(bid), int(buf.size)])
-                chunks.append(buf.tobytes())
-            return {"ok": True, "duration": duration, "blocks": blocks}, b"".join(chunks)
+                chunks.append(memoryview(buf).cast("B"))
+            return {"ok": True, "duration": duration, "blocks": blocks}, chunks
         if op == "query":
             region = self._bbox(header)
             out = []

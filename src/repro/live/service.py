@@ -9,12 +9,15 @@ formation, recovery sweeps) runs unchanged; what changes is who drives
 it: asyncio tasks on the wall clock instead of a virtual-time heap.
 
 GF(2^8) encode/decode batches are offloaded to the engine's worker pool
-via :meth:`StagingRuntime.compute`.  Offloaded codec work is serialized
-by one lock — the decode-matrix LRU cache and the coding batch are not
-thread-safe — which still keeps the kernel passes off the event loop
-(the loop serves other requests while a worker encodes).  Pure work
-(payload digests) is offloaded *without* the lock and runs fully in
-parallel across workers.
+via :meth:`StagingRuntime.compute` and run **lock-free**: the codec
+layer is thread-safe (locked decode-matrix cache, condition-guarded
+coding batch, thread-local scratch pools), so concurrent offloads
+genuinely overlap.  On top of that, each offloaded kernel pass is
+stripe-parallel — ``RSCode.parallel_map`` is wired to
+:meth:`LiveEngine.codec_map`, which fans the pass's column splits across
+a dedicated codec worker pool.  The ``exclusive`` offload lock still
+exists for any future work that mutates truly shared scratch state, but
+no codec path needs it anymore.
 """
 
 from __future__ import annotations
@@ -46,6 +49,7 @@ class LiveStagingService:
         time_scale: float = 0.0,
         max_workers: int | None = None,
         offload_compute: bool = True,
+        parallel_codec: bool = True,
     ):
         self.engine = LiveEngine(time_scale=time_scale, max_workers=max_workers)
         transport = LiveTransport(self.engine, config.network)
@@ -53,13 +57,35 @@ class LiveStagingService:
         self._codec_lock = threading.Lock()
         if offload_compute:
             self.service.runtime.compute_offload = self._offload_compute
+        if parallel_codec:
+            # Stripe-parallel kernel passes: large encodes/decodes split by
+            # column range across the engine's codec pool.  Byte-identical
+            # to serial (columns are independent), so sim-vs-live
+            # conformance is unaffected.
+            self.service.codec.code.parallel_map = self.engine.codec_map
+        self._register_live_gauges()
+
+    def _register_live_gauges(self) -> None:
+        """Publish live-only counters next to the service's gauges."""
+        from repro.live import protocol
+
+        reg = self.service.metrics.registry
+        code = self.service.codec.code
+        pstats = code.parallel_stats
+        reg.gauge("codec.parallel.passes", lambda: pstats["passes"])
+        reg.gauge("codec.parallel.tasks", lambda: pstats["tasks"])
+        reg.gauge("codec.parallel.serial_passes", lambda: pstats["serial_passes"])
+        reg.gauge("protocol.bytes_copied", lambda: protocol.PROTO_STATS["bytes_copied"])
+        reg.gauge("protocol.payload_copies", lambda: protocol.PROTO_STATS["payload_copies"])
 
     def _offload_compute(self, fn, exclusive: bool = True):
         if not exclusive:
-            # Pure function of its inputs (digests, private-buffer math):
-            # run lock-free so workers genuinely overlap.
             return self.engine.offload(fn)
 
+        # ``exclusive`` work mutates shared scratch state that is not
+        # thread-safe.  No codec path is marked exclusive anymore (the
+        # codec layer carries its own locks and thread-local scratch);
+        # the lock remains for anything that still needs serialization.
         def locked():
             with self._codec_lock:
                 return fn()

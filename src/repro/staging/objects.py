@@ -202,6 +202,19 @@ class BlockEntity:
     digest: str = ""              # blake2b of the current payload
     transition_in_flight: bool = False  # async promote/demote already queued
     replica_bytes_accounted: int = 0    # logical replica bytes in the accountant
+    # Version the replica copies hold.  Reads may serve a replica only when
+    # this matches ``version``: leftover copies kept through a drifted
+    # encode (or mid-refresh) hold older bytes, and serving them silently
+    # returns stale data.  ``-1`` (or any mismatch) means "don't trust".
+    replica_version: int = -1
+    # Version of the bytes the primary store currently holds.  A writer
+    # bumps ``version`` (under the entity lock) before its store lands, and
+    # flows that do NOT hold the entity lock — stripe formation snapshots,
+    # reconciles — read the primary in that window.  Pairing every fetch
+    # with this stamp (instead of ``version``) keeps "which bytes did I
+    # actually capture" exact; restores from replicas/stripes stamp the
+    # version of the bytes they materialized.
+    stored_version: int = -1
     seq: int = -1                 # directory insertion order (stable sort key)
 
     # Back-reference to the owning MetadataDirectory (set by

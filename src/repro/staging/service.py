@@ -449,6 +449,8 @@ class StagingService:
                 if srv.has(f"R/{ent.name}/{ent.block_id}"):
                     srv.store_bytes(primary_key(ent), srv.fetch_bytes(f"R/{ent.name}/{ent.block_id}"))
                     srv.delete_bytes(f"R/{ent.name}/{ent.block_id}")
+                    # The promoted bytes are the replica copy's version.
+                    ent.stored_version = ent.replica_version
                 ent.primary = new_primary
                 ent.replicas = [r for r in ent.replicas if r != new_primary]
                 new_accounted = ent.nbytes * len(ent.replicas)

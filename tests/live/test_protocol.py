@@ -176,3 +176,61 @@ def test_shutdown_stops_the_server():
     handle._thread.join(timeout=30)
     assert not handle._thread.is_alive()
     handle.stop()  # idempotent after the wire-level shutdown
+
+
+# ---------------------------------------------------------------------------
+# zero-copy payload path
+# ---------------------------------------------------------------------------
+def test_frame_parts_alias_the_callers_buffer():
+    from repro.live.protocol import PROTO_STATS, frame_parts
+
+    payload = np.arange(256, dtype=np.uint8)
+    before = PROTO_STATS["payload_copies"]
+    prefix, view = frame_parts({"op": "x"}, payload)
+    assert PROTO_STATS["payload_copies"] == before
+    assert isinstance(view, memoryview)
+    payload[0] ^= 0xFF  # the view aliases the array: no bytes were copied
+    assert view[0] == payload[0]
+    hlen = int.from_bytes(prefix[:4], "little")
+    assert _decode_header(prefix[4 : 4 + hlen])["payload_len"] == 256
+
+
+def test_header_preamble_completes_to_full_header():
+    from repro.live.protocol import frame_parts, header_preamble
+
+    header = {"op": "put", "var": "x", "lb": [0, 0, 0], "ub": [8, 8, 8]}
+    pre = header_preamble(header)
+    (prefix,) = frame_parts(None, b"", preamble=pre)
+    hlen = int.from_bytes(prefix[:4], "little")
+    got = _decode_header(prefix[4 : 4 + hlen])
+    want = dict(header, payload_len=0)
+    assert got == want
+
+
+def test_live_put_get_path_makes_zero_payload_copies(server):
+    """End-to-end over TCP: no frame assembly ever joins payload bytes.
+
+    ``PROTO_STATS["payload_copies"]`` counts every place the protocol
+    module materializes payload bytes it already held (only the legacy
+    ``_encode_frame`` join does); the scatter/gather send and recv_into
+    receive paths used by the live data plane must keep it flat.
+    """
+    from repro.live import protocol
+
+    data = np.arange(16 * 16 * 16, dtype=np.uint8)
+    with LiveClient(server.host, server.port, name="zc") as c:
+        c.put("zc", (0, 0, 0), (16, 16, 16), data)  # warm entity + preamble
+        c.get("zc", (0, 0, 0), (16, 16, 16))
+        before = dict(protocol.PROTO_STATS)
+        for _ in range(3):
+            c.put("zc", (0, 0, 0), (16, 16, 16), data)
+            _, blocks = c.get("zc", (0, 0, 0), (16, 16, 16))
+            (payload,) = blocks.values()
+            assert isinstance(payload, memoryview)
+            assert payload == data.tobytes()
+        after = dict(protocol.PROTO_STATS)
+    assert after["payload_copies"] == before["payload_copies"]
+    assert after["bytes_copied"] == before["bytes_copied"]
+    assert after["frames_out"] > before["frames_out"]
+    # Repeated identical requests reuse the client's cached preambles.
+    assert after["preamble_hits"] >= before["preamble_hits"] + 6

@@ -212,6 +212,99 @@ def test_concurrent_clients_with_server_kill():
         handle.stop()
 
 
+def test_server_kill_during_parallel_encode():
+    """Chaos while encodes fan out across the codec worker pool.
+
+    The codec split thresholds are forced down so every offloaded
+    encode/decode pass runs stripe-parallel on the live codec executor,
+    then a server is killed and replaced twice mid-traffic.  At quiesce
+    the full invariant sweep and a digest audit must come back clean —
+    a column-split pass interrupted by chaos must never publish a
+    half-written shard.
+    """
+    # Blocks of 32 KiB: the 4 KiB-aligned column split needs shards wider
+    # than one alignment quantum, or every pass collapses back to one task.
+    config = StagingConfig(
+        n_servers=8,
+        domain_shape=(64, 64, 32),
+        element_bytes=1,
+        object_max_bytes=32768,
+        seed=7,
+    )
+    region = ((0, 0, 0), (32, 32, 32))  # exactly one 32 KiB block
+    handle = serve_in_thread(config, CoRECPolicy)
+    try:
+        live = handle._server.live
+        code = live.service.codec.code
+        code.parallel_min_bytes = 1  # fan out every offloaded pass
+        code.parallel_chunk_bytes = 4096
+        passes_before = code.parallel_stats["passes"]
+
+        first_put = threading.Event()
+        op_errors: list[str] = []
+        crashes: list[BaseException] = []
+
+        def writer() -> None:
+            try:
+                with LiveClient(handle.host, handle.port, name="pwriter") as cli:
+                    for opno in range(36):
+                        # Cold single-write variables -> the policy stripes
+                        # them; flushing forces the batched parallel encodes.
+                        var = f"pv{opno % 12}"
+                        data = np.full((32, 32, 32), opno % 256, np.uint8)
+                        try:
+                            cli.put(var, *region, data.ravel())
+                            if opno % 4 == 3:
+                                cli.flush()
+                        except RemoteOpError as exc:
+                            op_errors.append(f"op{opno}: {exc}")
+                        first_put.set()
+            except BaseException as exc:  # noqa: BLE001
+                crashes.append(exc)
+
+        t = threading.Thread(target=writer, name="parallel-writer")
+        t.start()
+        with LiveClient(handle.host, handle.port, name="chaos") as cli:
+            assert first_put.wait(timeout=30)
+            for victim in (2, 5):
+                cli.fail_server(victim)
+                for _ in range(2):  # traffic into the hole mid-encode
+                    cli.query("pv0", *region)
+                cli.replace_server(victim)
+        t.join(timeout=JOIN_TIMEOUT)
+        assert not t.is_alive(), "writer hung (codec pool deadlock?)"
+        assert not crashes, f"writer crashed: {crashes!r}"
+
+        with LiveClient(handle.host, handle.port, name="control") as control:
+            control.flush()
+            control.quiesce()
+            audit = control.verify()
+            assert audit["unrecoverable"] == [], audit
+            assert control.stats()["alive_servers"] == list(range(8))
+
+        assert live.engine.alive_processes() == [], "deadlocked processes"
+        assert code.parallel_stats["passes"] > passes_before, (
+            "no kernel pass actually fanned out — the case tested nothing"
+        )
+        violations = run_invariants(
+            live.service,
+            tier=QUIESCENT,
+            names=[
+                "durability",
+                "bytes_conservation",
+                "lock_leaks",
+                "accounting",
+                "anti_affinity",
+                "store_consistency",
+                "parity_integrity",
+                "reverse_indexes",
+            ],
+        )
+        assert violations == [], [str(v) for v in violations]
+    finally:
+        handle.stop()
+
+
 def test_client_vanishing_mid_session_is_tolerated():
     """A client that drops its socket must not poison the server."""
     handle = serve_in_thread(stress_config(), CoRECPolicy)
