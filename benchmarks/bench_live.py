@@ -30,14 +30,26 @@ and from the server process, and the bench fails if any frame assembly
 joined payload bytes — the put/get data plane must be scatter/gather
 sends and ``recv_into`` receives end to end.
 
-Emits ``benchmarks/BENCH_live.json`` and enforces the scaling floor:
-8-client aggregate put throughput at least 2x a single client's.
+``--trace-dir DIR`` turns on wall-clock tracing: each client subprocess
+carries its own tracer (so requests propagate trace context over the
+wire), the per-put latency attribution the server returns is folded into
+per-category percentiles in the emitted rows, and the last point's span
+tree / metrics land in ``DIR``.  The copy audit must stay at zero with
+tracing on — trace headers ride the length-prefixed JSON header, never
+the payload.
+
+Emits ``benchmarks/BENCH_live.json`` and enforces two gates: the scaling
+floor (8-client aggregate put throughput at least 2x a single client's)
+and the latency SLO (single-client put p99 under ``SLO_PUT_P99_MS``).
+``--smoke`` runs a small two-point sweep for CI: same copy audit and SLO
+gate, no scaling floor, and the committed baseline file is left alone.
 
 Run: ``PYTHONPATH=src python benchmarks/bench_live.py``
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import multiprocessing as mp
 import os
@@ -48,12 +60,35 @@ import numpy as np
 
 CLIENT_COUNTS = [1, 2, 4, 8]
 OPS_PER_CLIENT = 250
+SMOKE_CLIENT_COUNTS = [1, 2]
+SMOKE_OPS_PER_CLIENT = 30
 WARMUP_OPS = 10
 PAYLOAD_SHAPE = (64, 64, 16)  # 64 KiB per put at 1-byte elements
 GET_EVERY = 4  # one read-back per this many puts
 TIME_SCALE = 1.0  # modeled pacing in real time (see module docstring)
 OUT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_live.json")
 MIN_SCALING_8C = 2.0
+# Latency SLO at time_scale=1.0: the committed baseline's single-client
+# put p99 is ~10 ms (modeled pacing dominates), so 250 ms is a pure
+# regression tripwire with headroom for slow shared CI machines.  When a
+# committed baseline exists the effective ceiling tightens to 10x its
+# p99 (floored at MIN_P99_CEILING_MS for CI noise) — the same
+# committed-baseline-with-tolerance style check_regression.py uses.
+SLO_PUT_P99_MS = 250.0
+P99_HEADROOM = 10.0
+MIN_P99_CEILING_MS = 100.0
+
+
+def p99_ceiling_ms() -> float:
+    """Effective single-client put-p99 gate, baseline-aware."""
+    try:
+        with open(OUT_PATH, encoding="utf-8") as fh:
+            committed = json.load(fh).get("put_p99_1c_ms")
+    except (OSError, ValueError):
+        committed = None
+    if not committed:
+        return SLO_PUT_P99_MS
+    return min(SLO_PUT_P99_MS, max(committed * P99_HEADROOM, MIN_P99_CEILING_MS))
 
 
 def server_config():
@@ -68,9 +103,20 @@ def server_config():
     )
 
 
-def client_proc(host: str, port: int, idx: int, ops: int, ready_q, go, out_q) -> None:
+def client_proc(
+    host: str, port: int, idx: int, ops: int, tracing: bool, ready_q, go, out_q
+) -> None:
     """One load-generating client (runs in its own process)."""
     from repro.live import LiveClient
+
+    tracer = None
+    if tracing:
+        from repro.obs.wallclock import WallClockTracer
+
+        # Each client process gets its own tracer: trace ids are
+        # pid-prefixed (no cross-process collisions) and every request
+        # carries its trace context to the server in the frame header.
+        tracer = WallClockTracer()
 
     rng = np.random.default_rng(900 + idx)
     var = f"bench{idx}"
@@ -81,7 +127,8 @@ def client_proc(host: str, port: int, idx: int, ops: int, ready_q, go, out_q) ->
     ]
     put_lat: list[float] = []
     get_lat: list[float] = []
-    with LiveClient(host, port, name=f"bench{idx}", timeout=300.0) as cli:
+    put_attrs: list[dict] = []
+    with LiveClient(host, port, name=f"bench{idx}", timeout=300.0, tracer=tracer) as cli:
         for op in range(WARMUP_OPS):
             cli.put(var, (0, 0, 0), PAYLOAD_SHAPE, payloads[op % len(payloads)])
         ready_q.put(idx)
@@ -91,6 +138,8 @@ def client_proc(host: str, port: int, idx: int, ops: int, ready_q, go, out_q) ->
             t0 = time.perf_counter()
             cli.put(var, (0, 0, 0), PAYLOAD_SHAPE, payloads[op % len(payloads)])
             put_lat.append(time.perf_counter() - t0)
+            if cli.last_attr is not None:
+                put_attrs.append(cli.last_attr)
             if op % GET_EVERY == GET_EVERY - 1:
                 t0 = time.perf_counter()
                 cli.get(var, (0, 0, 0), PAYLOAD_SHAPE)
@@ -98,7 +147,7 @@ def client_proc(host: str, port: int, idx: int, ops: int, ready_q, go, out_q) ->
         t_end = time.time()
     from repro.live.protocol import PROTO_STATS
 
-    out_q.put((idx, t_begin, t_end, put_lat, get_lat, dict(PROTO_STATS)))
+    out_q.put((idx, t_begin, t_end, put_lat, get_lat, dict(PROTO_STATS), put_attrs))
 
 
 def percentiles(lat: list[float]) -> dict:
@@ -115,13 +164,26 @@ def percentiles(lat: list[float]) -> dict:
     }
 
 
-def run_point(n_clients: int) -> dict:
+def attribution_summary(put_attrs: list[dict]) -> dict:
+    """Per-category latency percentiles from server-returned attributions."""
+    by_cat: dict[str, list[float]] = {}
+    for attr in put_attrs:
+        for cat, dt in attr.items():
+            by_cat.setdefault(cat, []).append(float(dt))
+    return {cat: percentiles(vals) for cat, vals in sorted(by_cat.items())}
+
+
+def run_point(
+    n_clients: int, ops_per_client: int, tracing: bool, export_dir: str | None
+) -> dict:
     from repro.core.corec import CoRECPolicy
     from repro.live import serve_in_thread
     from repro.live.protocol import PROTO_STATS
 
     server_stats_before = dict(PROTO_STATS)
-    handle = serve_in_thread(server_config(), CoRECPolicy, time_scale=TIME_SCALE)
+    handle = serve_in_thread(
+        server_config(), CoRECPolicy, time_scale=TIME_SCALE, tracing=tracing
+    )
     ctx = mp.get_context("spawn")
     ready_q = ctx.Queue()
     out_q = ctx.Queue()
@@ -130,7 +192,8 @@ def run_point(n_clients: int) -> dict:
         procs = [
             ctx.Process(
                 target=client_proc,
-                args=(handle.host, handle.port, i, OPS_PER_CLIENT, ready_q, go, out_q),
+                args=(handle.host, handle.port, i, ops_per_client, tracing,
+                      ready_q, go, out_q),
             )
             for i in range(n_clients)
         ]
@@ -147,9 +210,14 @@ def run_point(n_clients: int) -> dict:
                 raise RuntimeError("bench client hung")
     finally:
         handle.stop()
+    if tracing and export_dir:
+        from repro.cli import _export_live_trace
+
+        _export_live_trace(export_dir, handle.live)
     window = max(r[2] for r in results) - min(r[1] for r in results)
     put_lat = [x for r in results for x in r[3]]
     get_lat = [x for r in results for x in r[4]]
+    put_attrs = [a for r in results for a in r[6]]
     payload_bytes = int(np.prod(PAYLOAD_SHAPE))
     total_puts = len(put_lat)
     # Copy audit: client-side counters summed across processes, server-side
@@ -159,7 +227,7 @@ def run_point(n_clients: int) -> dict:
     client_bytes = sum(r[5]["bytes_copied"] for r in results)
     server_copies = PROTO_STATS["payload_copies"] - server_stats_before["payload_copies"]
     server_bytes = PROTO_STATS["bytes_copied"] - server_stats_before["bytes_copied"]
-    return {
+    row = {
         "clients": n_clients,
         "window_s": window,
         "put_ops_per_s": total_puts / window,
@@ -173,12 +241,29 @@ def run_point(n_clients: int) -> dict:
             "server_bytes_copied": server_bytes,
         },
     }
+    if put_attrs:
+        row["attribution"] = attribution_summary(put_attrs)
+    return row
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI sweep: fewer clients/ops, no scaling "
+                             "floor, committed baseline left untouched")
+    parser.add_argument("--trace-dir", default="",
+                        help="enable wall-clock tracing and export the last "
+                             "point's trace/metrics artifacts here")
+    args = parser.parse_args(argv)
+
+    counts = SMOKE_CLIENT_COUNTS if args.smoke else CLIENT_COUNTS
+    ops = SMOKE_OPS_PER_CLIENT if args.smoke else OPS_PER_CLIENT
+    tracing = bool(args.trace_dir)
+
     rows = []
-    for n in CLIENT_COUNTS:
-        row = run_point(n)
+    for n in counts:
+        export_dir = args.trace_dir if (tracing and n == counts[-1]) else None
+        row = run_point(n, ops, tracing, export_dir)
         rows.append(row)
         print(
             f"{row['clients']:>2} clients: {row['put_ops_per_s']:8.1f} puts/s "
@@ -187,37 +272,72 @@ def main() -> int:
             f"p99 {row['put']['p99_ms']:7.2f} ms  "
             f"get p95 {row['get'].get('p95_ms', float('nan')):7.2f} ms"
         )
+        if "attribution" in row:
+            top = sorted(
+                row["attribution"].items(),
+                key=lambda kv: -kv[1].get("p50_ms", 0.0),
+            )[:4]
+            print("    attribution p50: " + "  ".join(
+                f"{cat} {p['p50_ms']:.2f} ms" for cat, p in top
+            ))
     base = rows[0]["put_ops_per_s"]
-    top = next(r for r in rows if r["clients"] == max(CLIENT_COUNTS))
-    scaling = top["put_ops_per_s"] / base
+    top_row = next(r for r in rows if r["clients"] == max(counts))
+    scaling = top_row["put_ops_per_s"] / base
     total_copies = sum(
         r["zero_copy"]["client_payload_copies"] + r["zero_copy"]["server_payload_copies"]
         for r in rows
     )
+    p99_1c = rows[0]["put"]["p99_ms"]
+    ceiling_ms = p99_ceiling_ms()  # read the committed baseline pre-overwrite
     payload = {
         "config": {
             "payload_bytes": int(np.prod(PAYLOAD_SHAPE)),
-            "ops_per_client": OPS_PER_CLIENT,
+            "ops_per_client": ops,
             "warmup_ops": WARMUP_OPS,
-            "client_counts": CLIENT_COUNTS,
+            "client_counts": counts,
             "time_scale": TIME_SCALE,
             "policy": "corec",
+            "tracing": tracing,
+            "slo_put_p99_ms": SLO_PUT_P99_MS,
+            "p99_ceiling_ms": ceiling_ms,
         },
         "rows": rows,
         "scaling_8c_over_1c": scaling,
         "payload_copies_total": total_copies,
+        "put_p99_1c_ms": p99_1c,
     }
-    with open(OUT_PATH, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-    print(f"\n{max(CLIENT_COUNTS)}-client/1-client put scaling: {scaling:.2f}x "
-          f"(floor {MIN_SCALING_8C}x)  payload copies: {total_copies} -> {OUT_PATH}")
-    if scaling < MIN_SCALING_8C:
+    # A smoke run never overwrites the committed full-sweep baseline; with
+    # a trace dir its results land next to the trace artifacts instead.
+    if not args.smoke:
+        out_path = OUT_PATH
+    elif args.trace_dir:
+        out_path = os.path.join(args.trace_dir, "bench_live_smoke.json")
+    else:
+        out_path = ""
+    if out_path:
+        os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+    print(f"\n{max(counts)}-client/1-client put scaling: {scaling:.2f}x"
+          + ("" if args.smoke else f" (floor {MIN_SCALING_8C}x)")
+          + f"  1-client put p99 {p99_1c:.2f} ms (ceiling {ceiling_ms:.0f} ms)"
+          + f"  payload copies: {total_copies}"
+          + (f" -> {out_path}" if out_path else ""))
+    if not args.smoke and scaling < MIN_SCALING_8C:
         print("FAIL: live backend does not scale with client count", file=sys.stderr)
         return 1
     if total_copies != 0:
         print(
             f"FAIL: {total_copies} payload copies on the put/get data plane "
             "(zero-copy framing regressed)",
+            file=sys.stderr,
+        )
+        return 1
+    if p99_1c > ceiling_ms:
+        print(
+            f"FAIL: single-client put p99 {p99_1c:.2f} ms exceeds the "
+            f"{ceiling_ms:.0f} ms ceiling (SLO {SLO_PUT_P99_MS:.0f} ms, "
+            f"baseline headroom {P99_HEADROOM:.0f}x)",
             file=sys.stderr,
         )
         return 1

@@ -11,7 +11,10 @@ structural cross-checks the schema language cannot express: span ids are
 unique and in start order, parent links resolve to earlier spans, spans
 close no earlier than they open, and every complete trace event nests
 properly within its tid (the invariant that makes Perfetto render flame
-charts).
+charts).  Wall-clock rows (``clock: "wall"``, written by the live
+backend) additionally must carry a trace id, agree with their parent's
+trace id, and keep cross-process links (``attrs.remote_parent``) on
+local *roots* only — sim-time traces pass unchanged.
 
 The validator is deliberately dependency-free (the CI image has no
 ``jsonschema``): it implements the subset of JSON Schema the checked-in
@@ -93,6 +96,7 @@ def _check_chrome_structure(trace: dict, errors: list[str]) -> None:
 
 def _check_span_structure(spans: list[dict], errors: list[str]) -> None:
     seen: set[int] = set()
+    trace_of: dict[int, str | None] = {}
     prev_id = 0
     for i, span in enumerate(spans):
         sid = span["span_id"]
@@ -107,6 +111,25 @@ def _check_span_structure(spans: list[dict], errors: list[str]) -> None:
             errors.append(f"spans[{i}]: parent_id {parent} does not refer to an earlier span")
         if span["t1"] < span["t0"]:
             errors.append(f"spans[{i}]: t1 {span['t1']} < t0 {span['t0']}")
+        # Wall-clock rows add distributed-trace invariants; sim rows
+        # (no ``clock`` field) are untouched by all of this.
+        if span.get("clock") == "wall":
+            trace_id = span.get("trace_id")
+            if not trace_id:
+                errors.append(f"spans[{i}]: wall-clock span without a trace_id")
+            if parent is not None and trace_of.get(parent) not in (None, trace_id):
+                errors.append(
+                    f"spans[{i}]: trace_id {trace_id!r} differs from parent "
+                    f"span {parent}'s {trace_of[parent]!r}"
+                )
+            if (span.get("attrs") or {}).get("remote_parent") is not None and parent is not None:
+                errors.append(
+                    f"spans[{i}]: cross-process link (remote_parent) on a span "
+                    f"with a local parent_id {parent}"
+                )
+        elif "trace_id" in span:
+            errors.append(f"spans[{i}]: trace_id on a span not marked clock=wall")
+        trace_of[sid] = span.get("trace_id")
 
 
 def validate_dir(trace_dir: str, schema_path: str) -> list[str]:

@@ -141,6 +141,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         "spans": len(tracer.spans),
         "root_spans": len(tracer.roots()),
         "events": len(service.log),
+        "events_dropped": service.log.dropped,
         "breakdown_max_drift_s": drift,
         "read_errors": service.read_errors,
         "artifacts": artifacts,
@@ -218,6 +219,33 @@ def cmd_durability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _events_dropped_nearby(path: str) -> int | None:
+    """Read ``eventlog.dropped`` from a metrics.json next to ``path``."""
+    import os
+
+    metrics_path = os.path.join(os.path.dirname(os.path.abspath(path)), "metrics.json")
+    if not os.path.exists(metrics_path):
+        return None
+    try:
+        with open(metrics_path, encoding="utf-8") as fh:
+            registry = json.load(fh).get("registry", {})
+    except (OSError, ValueError):
+        return None
+    dropped = registry.get("eventlog.dropped")
+    return int(dropped) if dropped is not None else None
+
+
+def _span_table(rows: list[dict]) -> None:
+    header = f"{'span':<22} {'n':>7} {'total_s':>10} {'p50_s':>10} {'p95_s':>10} {'p99_s':>10} {'max_s':>10}"
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print(
+            f"{r['name']:<22} {r['n']:>7} {r['total']:>10.4f} {r['p50']:>10.6f} "
+            f"{r['p95']:>10.6f} {r['p99']:>10.6f} {r['max']:>10.6f}"
+        )
+
+
 def _report_trace(path: str, as_json: bool) -> int:
     """Per-span-name duration summary of a ``spans.jsonl`` dump."""
     from repro.obs.registry import Histogram
@@ -239,20 +267,93 @@ def _report_trace(path: str, as_json: bool) -> int:
         json.dump(rows, sys.stdout, indent=2, default=float)
         print()
         return 0
-    header = f"{'span':<22} {'n':>7} {'total_s':>10} {'p50_s':>10} {'p95_s':>10} {'p99_s':>10} {'max_s':>10}"
-    print(header)
-    print("-" * len(header))
-    for r in rows:
-        print(
-            f"{r['name']:<22} {r['n']:>7} {r['total']:>10.4f} {r['p50']:>10.6f} "
-            f"{r['p95']:>10.6f} {r['p99']:>10.6f} {r['max']:>10.6f}"
+    _span_table(rows)
+    dropped = _events_dropped_nearby(path)
+    if dropped is not None:
+        print(f"events dropped: {dropped}")
+    return 0
+
+
+def _report_live_trace(trace_dir: str, as_json: bool) -> int:
+    """Summary of a wall-clock live trace directory.
+
+    Reads ``spans.jsonl`` written by ``repro live --trace-dir`` (or
+    ``bench_live.py --trace-dir``): per-span-name duration percentiles,
+    request count and distinct trace count, plus per-category latency
+    attribution aggregated from the dispatch spans' ``breakdown`` attrs.
+    ``metrics.json`` in the same directory contributes the dropped-event
+    count.
+    """
+    import os
+
+    from repro.obs.registry import Histogram
+
+    spans_path = os.path.join(trace_dir, "spans.jsonl")
+    by_name: dict[str, Histogram] = {}
+    attr_hists: dict[str, Histogram] = {}
+    trace_ids: set[str] = set()
+    n_spans = 0
+    n_requests = 0
+    with open(spans_path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            n_spans += 1
+            if row.get("trace_id"):
+                trace_ids.add(row["trace_id"])
+            hist = by_name.get(row["name"])
+            if hist is None:
+                hist = by_name[row["name"]] = Histogram(row["name"])
+            hist.observe(float(row["t1"]) - float(row["t0"]))
+            breakdown = (row.get("attrs") or {}).get("breakdown")
+            if breakdown:
+                n_requests += 1
+                for cat, dt in breakdown.items():
+                    cat_hist = attr_hists.get(cat)
+                    if cat_hist is None:
+                        cat_hist = attr_hists[cat] = Histogram(cat)
+                    cat_hist.observe(float(dt))
+    span_rows = [{"name": name, **hist.snapshot()} for name, hist in by_name.items()]
+    span_rows.sort(key=lambda r: -r["total"])
+    attr_rows = [{"name": cat, **hist.snapshot()} for cat, hist in attr_hists.items()]
+    attr_rows.sort(key=lambda r: -r["total"])
+    dropped = _events_dropped_nearby(spans_path)
+    if as_json:
+        json.dump(
+            {
+                "spans": n_spans,
+                "traces": len(trace_ids),
+                "requests": n_requests,
+                "events_dropped": dropped,
+                "by_span": span_rows,
+                "attribution": attr_rows,
+            },
+            sys.stdout,
+            indent=2,
+            default=float,
         )
+        print()
+        return 0
+    print(f"{n_spans} spans in {len(trace_ids)} traces, "
+          f"{n_requests} attributed requests")
+    if dropped is not None:
+        print(f"events dropped: {dropped}")
+    print()
+    _span_table(span_rows)
+    if attr_rows:
+        print()
+        print("latency attribution (per request, seconds):")
+        _span_table(attr_rows)
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis import ascii_bars, ascii_series, list_results, load_results
 
+    if args.live_trace:
+        return _report_live_trace(args.live_trace, args.json)
     if args.trace:
         return _report_trace(args.trace, args.json)
     if args.list:
@@ -346,6 +447,40 @@ def cmd_scale(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _export_live_trace(out_dir: str, live) -> dict[str, str]:
+    """Dump a stopped live service's trace + metrics artifacts to a dir.
+
+    Same artifact set as ``repro trace`` (Perfetto ``trace.json``,
+    ``spans.jsonl``, ``events.jsonl``, ``metrics.json``) plus a
+    Prometheus text dump, with the wall-clock domain labeled in the
+    Chrome trace metadata.
+    """
+    import os
+
+    from repro.obs.export import (
+        write_chrome_trace,
+        write_events_jsonl,
+        write_metrics_json,
+        write_prometheus_text,
+        write_spans_jsonl,
+    )
+
+    os.makedirs(out_dir, exist_ok=True)
+    service = live.service
+    return {
+        "chrome_trace": write_chrome_trace(
+            os.path.join(out_dir, "trace.json"), live.tracer,
+            process_name="repro-live", clock="wall-clock seconds",
+        ),
+        "spans": write_spans_jsonl(os.path.join(out_dir, "spans.jsonl"), live.tracer),
+        "events": write_events_jsonl(os.path.join(out_dir, "events.jsonl"), service.log),
+        "metrics": write_metrics_json(os.path.join(out_dir, "metrics.json"), service.metrics),
+        "prometheus": write_prometheus_text(
+            os.path.join(out_dir, "metrics.prom"), service.metrics.registry
+        ),
+    }
+
+
 def cmd_live(args: argparse.Namespace) -> int:
     """Serve the live (wall-clock, concurrent) staging backend over TCP.
 
@@ -353,7 +488,9 @@ def cmd_live(args: argparse.Namespace) -> int:
     Ctrl-C.  ``--smoke`` instead runs the server on a background thread,
     drives a small client workload through the real socket path, prints
     the resulting stats and exits — the self-contained health check CI
-    runs on every push.
+    runs on every push.  ``--trace-dir DIR`` turns on wall-clock tracing
+    and exports the span tree, event log, metrics snapshot and a
+    Prometheus text dump to ``DIR`` on exit (both modes).
     """
     from repro import StagingConfig
 
@@ -365,6 +502,7 @@ def cmd_live(args: argparse.Namespace) -> int:
         async_protection=args.async_protection,
         seed=args.seed,
     )
+    tracing = bool(args.trace_dir)
 
     def policy_factory():
         return _make_policy(args.policy, args.storage_bound, args.seed)
@@ -374,10 +512,16 @@ def cmd_live(args: argparse.Namespace) -> int:
 
         handle = serve_in_thread(
             config, policy_factory, host=args.host, port=args.port,
-            time_scale=args.time_scale,
+            time_scale=args.time_scale, tracing=tracing,
         )
         try:
-            with LiveClient(handle.host, handle.port, name="smoke") as cli:
+            # Sharing the server's tracer puts the in-process client's
+            # rpc spans and the server's dispatch spans in one exported
+            # span list — each request reads as one linked trace.
+            tracer = handle.live.tracer if tracing else None
+            with LiveClient(
+                handle.host, handle.port, name="smoke", tracer=tracer
+            ) as cli:
                 for step in range(3):
                     for v in range(2):
                         cli.put(f"var{v}", (0, 0, 0), tuple(args.domain))
@@ -387,29 +531,33 @@ def cmd_live(args: argparse.Namespace) -> int:
                 cli.quiesce()
                 audit = cli.verify()
                 stats = cli.stats()
-            _emit(
-                {
-                    "host": handle.host,
-                    "port": handle.port,
-                    "blocks_read": len(blocks),
-                    **stats,
-                    "unrecoverable": audit["unrecoverable"],
-                },
-                args,
-            )
-            return 0 if not audit["unrecoverable"] else 1
         finally:
             handle.stop()
+        out = {
+            "host": handle.host,
+            "port": handle.port,
+            "blocks_read": len(blocks),
+            **stats,
+            "unrecoverable": audit["unrecoverable"],
+        }
+        if tracing:
+            out["spans"] = len(handle.live.tracer.spans)
+            out["artifacts"] = _export_live_trace(args.trace_dir, handle.live)
+        _emit(out, args)
+        return 0 if not audit["unrecoverable"] else 1
 
     import asyncio
 
     from repro.live import LiveServer, LiveStagingService
 
+    box: dict = {}
+
     async def serve() -> None:
         live = LiveStagingService(
             config, policy_factory(), time_scale=args.time_scale,
-            max_workers=args.workers,
+            max_workers=args.workers, tracing=tracing,
         )
+        box["live"] = live
         server = LiveServer(live)
         host, port = await server.start(args.host, args.port)
         print(f"live staging server on {host}:{port} "
@@ -420,6 +568,10 @@ def cmd_live(args: argparse.Namespace) -> int:
         asyncio.run(serve())
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass
+    if tracing and "live" in box:
+        artifacts = _export_live_trace(args.trace_dir, box["live"])
+        print(f"trace artifacts in {args.trace_dir}: "
+              f"{', '.join(sorted(artifacts))}", file=sys.stderr)
     return 0
 
 
@@ -523,6 +675,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--results-dir", default=None)
     p_report.add_argument("--trace", default="",
                           help="summarize a spans.jsonl dump instead of a stored result")
+    p_report.add_argument("--live-trace", default="", metavar="DIR",
+                          help="summarize a live trace directory (spans, traces, "
+                               "latency attribution, dropped events)")
     p_report.set_defaults(func=cmd_report)
 
     p_chaos = sub.add_parser(
@@ -579,6 +734,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="codec offload thread pool size")
     p_live.add_argument("--smoke", action="store_true",
                         help="serve on a thread, run a client workload, exit")
+    p_live.add_argument("--trace-dir", default="",
+                        help="enable wall-clock tracing; export span/metrics "
+                             "artifacts to this directory on exit")
     p_live.set_defaults(func=cmd_live)
 
     p_model = sub.add_parser("model", help="evaluate the Section II-D model")

@@ -183,7 +183,12 @@ class StagingRuntime:
             yield from self.busy(owner, self.costs.metadata_op_s, "metadata")
         self.metrics.count("metadata_updates")
 
-    def compute(self, fn: Callable[[], object], exclusive: bool = True) -> Generator:
+    def compute(
+        self,
+        fn: Callable[[], object],
+        exclusive: bool = True,
+        category: str = "codec",
+    ) -> Generator:
         """Run host-side numeric work (``yield from`` this at a yield point).
 
         On the simulator this is a plain call — the generator completes
@@ -200,9 +205,13 @@ class StagingRuntime:
         batch, scratch pools) is thread-safe, so every coding path passes
         ``exclusive=False`` and runs fully in parallel; ``exclusive``
         remains the safe default for new call sites.
+
+        ``category`` names the attribution bucket the live backend
+        charges the offload wait to ("codec" for kernel passes, "digest"
+        for payload hashing); the simulator ignores it.
         """
         if self.compute_offload is not None:
-            result = yield self.compute_offload(fn, exclusive)
+            result = yield self.compute_offload(fn, exclusive, category)
             return result
         return fn()
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.erasure.gf256 import GF256
 from repro.erasure.matrix import GFMatrix, cauchy_rs_matrix, vandermonde_rs_matrix
+from repro.obs.registry import StatCounters
 
 __all__ = ["RSCode", "StripeCodec", "Stripe"]
 
@@ -114,7 +115,9 @@ class RSCode:
         self.parallel_min_bytes = 1 << 18
         self.parallel_chunk_bytes = 1 << 20
         self.parallel_max_tasks = 16
-        self.parallel_stats = {"passes": 0, "tasks": 0, "serial_passes": 0}
+        # Thread-safe: pool workers and the loop thread both pass through
+        # _run_tasks; reads keep the dict interface (stats["passes"]).
+        self.parallel_stats = StatCounters(("passes", "tasks", "serial_passes"))
 
     def _decode_matrix(self, chosen: tuple[int, ...]) -> np.ndarray:
         with self._cache_lock:
@@ -228,12 +231,12 @@ class RSCode:
     def _run_tasks(self, tasks: Sequence[Callable[[], None]]) -> None:
         pm = self.parallel_map
         if pm is not None and len(tasks) > 1:
-            self.parallel_stats["passes"] += 1
-            self.parallel_stats["tasks"] += len(tasks)
+            self.parallel_stats.inc("passes")
+            self.parallel_stats.inc("tasks", len(tasks))
             pm(tasks)
             return
         if pm is not None:
-            self.parallel_stats["serial_passes"] += 1
+            self.parallel_stats.inc("serial_passes")
         for task in tasks:
             task()
 

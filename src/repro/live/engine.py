@@ -35,13 +35,16 @@ worker threads.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import os
+import threading
 import time
 import weakref
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Generator
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import Event, Process, Timeout
 
 __all__ = ["LiveEngine", "LiveProcessError"]
@@ -82,8 +85,13 @@ class LiveEngine:
         # a put chains ~15 zero-delay events, and per-event loop iterations
         # were the dominant cost of the whole request path.  The batch cap
         # bounds how long the drain keeps the loop from its selector, so
-        # socket I/O stays responsive under load.
-        self._soon: deque[Callable[[], None]] = deque()
+        # socket I/O stays responsive under load.  Entries are
+        # ``(action, context)``; the context is None with tracing off and
+        # a per-action contextvars snapshot with tracing on, so the
+        # wall-clock tracer's request scope survives the shared drain
+        # callback (``call_later``/``add_done_callback`` capture context
+        # natively, the batched microqueue must do it by hand).
+        self._soon: deque[tuple[Callable[[], None], contextvars.Context | None]] = deque()
         self._drain_scheduled = False
         self.soon_batch = 128
         self._timer_deadlines: dict[int, float] = {}
@@ -104,6 +112,13 @@ class LiveEngine:
         self._codec_executor = ThreadPoolExecutor(
             max_workers=codec_workers, thread_name_prefix="repro-codec"
         )
+        # Wall-clock observability (off by default; the live service
+        # installs a WallClockTracer and starts the watchdog).
+        self.tracer = NULL_TRACER
+        self._watchdog_task: asyncio.Task | None = None
+        self._watchdog_hist = None
+        self.loop_lag_s = 0.0
+        self.loop_lag_max_s = 0.0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -155,7 +170,8 @@ class LiveEngine:
         if wall <= 0.0:
             # FIFO at zero delay, matching the simulator's same-timestamp
             # sequence-number ordering.
-            self._soon.append(action)
+            ctx = contextvars.copy_context() if self.tracer.enabled else None
+            self._soon.append((action, ctx))
             if not self._drain_scheduled:
                 self._drain_scheduled = True
                 self.loop.call_soon(self._drain_soon)
@@ -171,9 +187,12 @@ class LiveEngine:
         queue = self._soon
         while queue and budget > 0:
             budget -= 1
-            action = queue.popleft()
+            action, ctx = queue.popleft()
             try:
-                action()
+                if ctx is not None:
+                    ctx.run(action)
+                else:
+                    action()
             except BaseException as exc:  # detached crash: re-raised at drain
                 self.errors.append(exc)
             finally:
@@ -205,11 +224,41 @@ class LiveEngine:
     # ------------------------------------------------------------------
     # live-only surface
     # ------------------------------------------------------------------
-    def offload(self, fn: Callable[[], Any]) -> Event:
-        """Run ``fn`` on a worker thread; the returned event fires on the loop."""
+    def offload(self, fn: Callable[[], Any], charge: str = "offload") -> Event:
+        """Run ``fn`` on a worker thread; the returned event fires on the loop.
+
+        ``charge`` names the attribution bucket the caller's wait on the
+        returned event is charged to, and the category of the worker-side
+        span when tracing is on.
+        """
         if self._closed:
             raise RuntimeError("offload on a closed LiveEngine")
         ev = Event(self)
+        tracer = self.tracer
+        if tracer.enabled:
+            ev.charge = charge
+            # Snapshot the caller's context so the worker-side span lands
+            # under the flow span that requested the offload.
+            ctx = contextvars.copy_context()
+            work = fn
+
+            def _traced_work():
+                span = tracer.begin(
+                    f"offload.{charge}",
+                    category=charge,
+                    thread=threading.get_ident(),
+                )
+                token = tracer.activate(span)
+                try:
+                    return work()
+                except BaseException as exc:
+                    span.set(error=repr(exc))
+                    raise
+                finally:
+                    tracer.deactivate(token)
+                    tracer.end(span)
+
+            fn = lambda: ctx.run(_traced_work)  # noqa: E731
         self._offloads += 1
         fut = self.loop.run_in_executor(self._executor, fn)
 
@@ -238,24 +287,84 @@ class LiveEngine:
         Exceptions propagate to the caller after every task has finished
         (no split is left half-written when a sibling fails).
         """
-        if len(tasks) <= 1 or self._closed:
-            for task in tasks:
-                task()
+        tracer = self.tracer
+        if not tracer.enabled:
+            if len(tasks) <= 1 or self._closed:
+                for task in tasks:
+                    task()
+                return
+            futs = [self._codec_executor.submit(task) for task in tasks[1:]]
+            first_exc: BaseException | None = None
+            try:
+                tasks[0]()
+            except BaseException as exc:
+                first_exc = exc
+            for fut in futs:
+                try:
+                    fut.result()
+                except BaseException as exc:
+                    if first_exc is None:
+                        first_exc = exc
+            if first_exc is not None:
+                raise first_exc
             return
-        futs = [self._codec_executor.submit(task) for task in tasks[1:]]
+        self._codec_map_traced(tasks, tracer)
+
+    def _codec_map_traced(self, tasks: list[Callable[[], None]], tracer) -> None:
+        """codec_map with one pass span + one span per column-split task.
+
+        Same execution and exception semantics as the untraced path; the
+        task spans carry explicit parents because codec-pool threads have
+        no inherited context.  Task spans close on the exception path too,
+        so a poisoned split never leaves an open span in the export.
+        """
+        pass_span = tracer.begin(
+            "codec.pass", category="codec", parent=tracer.current, tasks=len(tasks)
+        )
+
+        def run_task(index: int, task: Callable[[], None]) -> None:
+            span = tracer.begin(
+                "codec.task",
+                category="codec",
+                parent=pass_span,
+                index=index,
+                thread=threading.get_ident(),
+            )
+            try:
+                task()
+            except BaseException as exc:
+                span.set(error=repr(exc))
+                raise
+            finally:
+                tracer.end(span)
+
         first_exc: BaseException | None = None
         try:
-            tasks[0]()
-        except BaseException as exc:
-            first_exc = exc
-        for fut in futs:
+            if len(tasks) <= 1 or self._closed:
+                for i, task in enumerate(tasks):
+                    run_task(i, task)
+                return
+            futs = [
+                self._codec_executor.submit(run_task, i, task)
+                for i, task in enumerate(tasks[1:], start=1)
+            ]
             try:
-                fut.result()
+                run_task(0, tasks[0])
             except BaseException as exc:
-                if first_exc is None:
-                    first_exc = exc
-        if first_exc is not None:
-            raise first_exc
+                first_exc = exc
+            for fut in futs:
+                try:
+                    fut.result()
+                except BaseException as exc:
+                    if first_exc is None:
+                        first_exc = exc
+            if first_exc is not None:
+                raise first_exc
+        except BaseException as exc:
+            pass_span.set(error=repr(exc))
+            raise
+        finally:
+            tracer.end(pass_span)
 
     def wait(self, event: Event) -> asyncio.Future:
         """Bridge a process-model event to an awaitable."""
@@ -303,6 +412,61 @@ class LiveEngine:
             errors, self.errors = list(self.errors), []
             raise LiveProcessError(errors)
 
+    # ------------------------------------------------------------------
+    # observability surface
+    # ------------------------------------------------------------------
+    @property
+    def microqueue_depth(self) -> int:
+        """Zero-delay actions waiting in the drain queue."""
+        return len(self._soon)
+
+    @property
+    def pool_queue_depth(self) -> int:
+        """Offload work items queued behind busy worker threads."""
+        return self._executor._work_queue.qsize()
+
+    @property
+    def codec_queue_depth(self) -> int:
+        """Column-split tasks queued behind busy codec-pool threads."""
+        return self._codec_executor._work_queue.qsize()
+
+    @property
+    def offloads_inflight(self) -> int:
+        return self._offloads
+
+    def start_watchdog(self, interval: float = 0.05, histogram=None) -> None:
+        """Start the event-loop lag sampler (idempotent).
+
+        A background task sleeps ``interval`` and measures how late it
+        wakes — the classic loop-lag probe: any callback (or GIL-holding
+        kernel pass) that blocks the loop shows up as lag.  The latest and
+        max readings are published as attributes (gauges read them); an
+        optional registry ``histogram`` accumulates the distribution.
+        The task never touches ``_pending``, so it does not keep
+        ``quiesce()`` from draining.
+        """
+        if self._watchdog_task is not None or self._closed:
+            return
+        self._watchdog_hist = histogram
+
+        async def _watch() -> None:
+            while True:
+                t0 = time.monotonic()
+                await asyncio.sleep(interval)
+                lag = max(0.0, time.monotonic() - t0 - interval)
+                self.loop_lag_s = lag
+                if lag > self.loop_lag_max_s:
+                    self.loop_lag_max_s = lag
+                if self._watchdog_hist is not None:
+                    self._watchdog_hist.observe(lag)
+
+        self._watchdog_task = self.loop.create_task(_watch())
+
+    def stop_watchdog(self) -> None:
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
+            self._watchdog_task = None
+
     def alive_processes(self) -> list[Process]:
         """Processes started on this engine that have not completed.
 
@@ -318,5 +482,6 @@ class LiveEngine:
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            self.stop_watchdog()
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._codec_executor.shutdown(wait=True, cancel_futures=True)

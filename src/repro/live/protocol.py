@@ -35,8 +35,19 @@ is appended per frame.  :class:`LiveClient` caches preambles per
 Operations
 ----------
 ``ping``, ``put``, ``get``, ``query``, ``step``, ``flush``, ``quiesce``,
-``fail``, ``replace``, ``snapshot``, ``stats``, ``verify``, ``shutdown``
-— see :class:`repro.live.server.LiveServer` for semantics.
+``fail``, ``replace``, ``snapshot``, ``stats``, ``metrics``, ``verify``,
+``shutdown`` — see :class:`repro.live.server.LiveServer` for semantics.
+
+Trace propagation
+-----------------
+When a client is built with a :class:`~repro.obs.wallclock.WallClockTracer`,
+each request opens an ``rpc.<op>`` span and carries ``"trace"`` (trace id)
+and ``"span"`` (parent span id) in the frame header, appended per frame
+*after* ``payload_len`` so cached preambles stay valid.  A traced server
+links its dispatch span to them and returns its own span id (``srv_span``)
+plus the request's latency attribution (``attr``) in the response header.
+With tracing off, no extra fields are encoded and frames are byte-for-byte
+identical to the untraced protocol.
 
 This module is transport-agnostic plumbing: async reader/writer framing
 for the server side and a blocking-socket :class:`LiveClient` for load
@@ -53,6 +64,8 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.obs.registry import StatCounters
+
 __all__ = [
     "ProtocolError",
     "RemoteOpError",
@@ -60,6 +73,7 @@ __all__ = [
     "frame_parts",
     "header_preamble",
     "read_frame",
+    "read_frame_timed",
     "write_frame",
     "LiveClient",
 ]
@@ -71,14 +85,11 @@ MAX_PAYLOAD_BYTES = 1 << 30
 #: Copy accounting for the payload path.  ``payload_copies`` /
 #: ``bytes_copied`` count every place this module materializes payload
 #: bytes it already held in another buffer; the scatter/gather send and
-#: recv_into receive paths never increment them.
-PROTO_STATS = {
-    "frames_out": 0,
-    "frames_in": 0,
-    "payload_copies": 0,
-    "bytes_copied": 0,
-    "preamble_hits": 0,
-}
+#: recv_into receive paths never increment them.  Thread-safe: client
+#: threads and the server loop thread increment concurrently.
+PROTO_STATS = StatCounters(
+    ("frames_out", "frames_in", "payload_copies", "bytes_copied", "preamble_hits")
+)
 
 
 class ProtocolError(RuntimeError):
@@ -130,8 +141,23 @@ def header_preamble(header: dict[str, Any]) -> bytes:
     return raw[:-1] + b',"payload_len":'
 
 
-def _prefix(preamble: bytes, payload_len: int) -> bytes:
-    raw = preamble + str(payload_len).encode("ascii") + b"}"
+def _extra_fields(extra: dict[str, Any] | None) -> bytes:
+    """Encode per-frame header fields appended after ``payload_len``.
+
+    Returns ``b""`` for no extras (the frame bytes are then identical to
+    a build without the parameter), else ``,"k":v,...`` ready to splice
+    before the closing brace.  This is how trace context rides along
+    without invalidating cached preambles: the preamble covers the stable
+    fields, the extras vary per frame like the payload length does.
+    """
+    if not extra:
+        return b""
+    raw = json.dumps(extra, separators=(",", ":")).encode("utf-8")
+    return b"," + raw[1:-1]
+
+
+def _prefix(preamble: bytes, payload_len: int, extra: bytes = b"") -> bytes:
+    raw = preamble + str(payload_len).encode("ascii") + extra + b"}"
     if len(raw) > MAX_HEADER_BYTES:
         raise ProtocolError(f"header too large ({len(raw)} bytes)")
     return _LEN.pack(len(raw)) + raw
@@ -141,13 +167,16 @@ def frame_parts(
     header: dict[str, Any] | None,
     payload: Buffer | Sequence[Buffer] = b"",
     preamble: bytes | None = None,
+    extra: dict[str, Any] | None = None,
 ) -> list[Buffer]:
     """Build one frame as a buffer list — no payload bytes are copied.
 
     The first element is the length word + JSON header (one small bytes
     object); the rest are the payload buffers exactly as given.  Pass a
     cached ``preamble`` (from :func:`header_preamble`) to skip the JSON
-    encoding of the stable header fields entirely.
+    encoding of the stable header fields entirely.  ``extra`` fields
+    (trace context) are encoded per frame after ``payload_len``; when
+    ``extra`` is None the output is byte-identical to a call without it.
     """
     views = _payload_list(payload)
     plen = sum(v.nbytes for v in views)
@@ -156,9 +185,9 @@ def frame_parts(
     if preamble is None:
         preamble = header_preamble(header or {})
     else:
-        PROTO_STATS["preamble_hits"] += 1
-    PROTO_STATS["frames_out"] += 1
-    return [_prefix(preamble, plen), *views]
+        PROTO_STATS.inc("preamble_hits")
+    PROTO_STATS.inc("frames_out")
+    return [_prefix(preamble, plen, _extra_fields(extra)), *views]
 
 
 def _encode_frame(header: dict[str, Any], payload: bytes | memoryview = b"") -> bytes:
@@ -171,8 +200,8 @@ def _encode_frame(header: dict[str, Any], payload: bytes | memoryview = b"") -> 
     parts = frame_parts(header, payload)
     plen = sum(memoryview(p).nbytes for p in parts[1:])
     if plen:
-        PROTO_STATS["payload_copies"] += 1
-        PROTO_STATS["bytes_copied"] += plen
+        PROTO_STATS.inc("payload_copies")
+        PROTO_STATS.inc("bytes_copied", plen)
     return b"".join(bytes(p) if not isinstance(p, bytes) else p for p in parts)
 
 
@@ -211,12 +240,47 @@ async def read_frame(reader) -> tuple[dict[str, Any], bytes]:
         raise ProtocolError(f"bad header length {hlen}")
     header = _decode_header(await reader.readexactly(hlen))
     payload = await reader.readexactly(header["payload_len"]) if header["payload_len"] else b""
-    PROTO_STATS["frames_in"] += 1
+    PROTO_STATS.inc("frames_in")
     return header, payload
 
 
+async def read_frame_timed(reader, clock) -> tuple[dict[str, Any], bytes, float, float, float]:
+    """:func:`read_frame` plus arrival time and socket/decode timing.
+
+    Returns ``(header, payload, t_arrival, read_s, decode_s)`` where
+    ``t_arrival`` is the ``clock()`` reading right after the first length
+    byte arrived (the earliest this process can observe the request),
+    ``read_s`` is time spent awaiting header/payload bytes off the socket
+    and ``decode_s`` the JSON header decode.  Identical wire behaviour to
+    :func:`read_frame`; only used by the traced server path.
+    """
+    try:
+        head = await reader.readexactly(_LEN.size)
+    except Exception as exc:  # IncompleteReadError or closed transport
+        raise EOFError("connection closed") from exc
+    t_arrival = clock()
+    (hlen,) = _LEN.unpack(head)
+    if hlen == 0 or hlen > MAX_HEADER_BYTES:
+        raise ProtocolError(f"bad header length {hlen}")
+    hraw = await reader.readexactly(hlen)
+    t_head = clock()
+    header = _decode_header(hraw)
+    t_decoded = clock()
+    if header["payload_len"]:
+        payload = await reader.readexactly(header["payload_len"])
+    else:
+        payload = b""
+    t_body = clock()
+    PROTO_STATS.inc("frames_in")
+    read_s = (t_head - t_arrival) + (t_body - t_decoded)
+    return header, payload, t_arrival, read_s, t_decoded - t_head
+
+
 async def write_frame(
-    writer, header: dict[str, Any], payload: Buffer | Sequence[Buffer] = b""
+    writer,
+    header: dict[str, Any],
+    payload: Buffer | Sequence[Buffer] = b"",
+    extra: dict[str, Any] | None = None,
 ) -> None:
     """Scatter/gather frame send: no payload concatenation in our code.
 
@@ -224,7 +288,7 @@ async def write_frame(
     response's block views); ``writelines`` hands the list to the
     transport as-is.
     """
-    writer.writelines(frame_parts(header, payload))
+    writer.writelines(frame_parts(header, payload, extra=extra))
     await writer.drain()
 
 
@@ -246,12 +310,25 @@ class LiveClient:
     want independence from the buffer's lifetime.
     """
 
-    def __init__(self, host: str, port: int, name: str = "client", timeout: float | None = 60.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        name: str = "client",
+        timeout: float | None = 60.0,
+        tracer=None,
+    ):
         self.name = name
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         # op/var/region header preambles, serialized once per distinct key.
         self._preambles: dict[tuple, bytes] = {}
+        # Optional WallClockTracer: every request gets an rpc span whose
+        # trace context rides the frame header, and the server's latency
+        # attribution (response "attr" field) is kept in ``last_attr``.
+        # None (the default) adds zero work and zero header bytes.
+        self.tracer = tracer
+        self.last_attr: dict[str, float] | None = None
 
     # -- framing -------------------------------------------------------
     def _send_parts(self, parts: list[Buffer]) -> None:
@@ -296,13 +373,41 @@ class LiveClient:
         payload: Buffer | Sequence[Buffer] = b"",
         preamble: bytes | None = None,
     ) -> tuple[dict[str, Any], memoryview]:
-        self._send_parts(frame_parts(header, payload, preamble=preamble))
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return self._request_raw(header, payload, preamble, None)
+        span = tracer.begin(
+            f"rpc.{header.get('op', '?')}", category="rpc", client=self.name
+        )
+        extra = {"trace": span.trace_id, "span": span.span_id}
+        try:
+            resp, body = self._request_raw(header, payload, preamble, extra)
+        except BaseException as exc:
+            tracer.end(span, error=repr(exc))
+            raise
+        attr = resp.get("attr")
+        if attr is not None:
+            self.last_attr = attr
+            span.set(server_attr=attr)
+        if resp.get("srv_span") is not None:
+            span.set(srv_span=resp["srv_span"])
+        tracer.end(span)
+        return resp, body
+
+    def _request_raw(
+        self,
+        header: dict[str, Any],
+        payload: Buffer | Sequence[Buffer],
+        preamble: bytes | None,
+        extra: dict[str, Any] | None,
+    ) -> tuple[dict[str, Any], memoryview]:
+        self._send_parts(frame_parts(header, payload, preamble=preamble, extra=extra))
         (hlen,) = _LEN.unpack(self._recv_exactly(_LEN.size))
         if hlen == 0 or hlen > MAX_HEADER_BYTES:
             raise ProtocolError(f"bad header length {hlen}")
         resp = _decode_header(self._recv_exactly(hlen))
         body = self._recv_exactly(resp["payload_len"]) if resp["payload_len"] else memoryview(b"")
-        PROTO_STATS["frames_in"] += 1
+        PROTO_STATS.inc("frames_in")
         if not resp.get("ok", False):
             raise RemoteOpError(resp.get("error_type", "Error"), resp.get("error", "unknown"))
         return resp, body
@@ -368,6 +473,11 @@ class LiveClient:
     def stats(self) -> dict[str, Any]:
         resp, _ = self.request({"op": "stats"})
         return resp["stats"]
+
+    def metrics_text(self) -> str:
+        """Fetch the server's Prometheus text exposition (``/metrics`` dump)."""
+        _, body = self.request({"op": "metrics"})
+        return bytes(body).decode("utf-8")
 
     def verify(self) -> dict[str, Any]:
         resp, _ = self.request({"op": "verify"})

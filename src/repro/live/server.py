@@ -23,7 +23,13 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.live.protocol import ProtocolError, read_frame, write_frame
+from repro.live.protocol import (
+    ProtocolError,
+    frame_parts,
+    read_frame,
+    read_frame_timed,
+    write_frame,
+)
 from repro.live.service import LiveStagingService
 from repro.staging.domain import BBox
 from repro.staging.service import StagingConfig
@@ -64,24 +70,13 @@ class LiveServer:
         self.connections_served += 1
         try:
             while True:
-                try:
-                    header, payload = await read_frame(reader)
-                except EOFError:
+                if self.live.tracer.enabled:
+                    op = await self._serve_one_traced(reader, writer)
+                else:
+                    op = await self._serve_one(reader, writer)
+                if op is None:  # clean EOF
                     break
-                try:
-                    resp, body = await self._dispatch(header, payload)
-                except ProtocolError:
-                    raise
-                except BaseException as exc:
-                    resp = {
-                        "ok": False,
-                        "error_type": type(exc).__name__,
-                        "error": str(exc),
-                    }
-                    body = b""
-                self.requests_served += 1
-                await write_frame(writer, resp, body)
-                if header.get("op") == "shutdown":
+                if op == "shutdown":
                     self._shutdown.set()
                     break
         except (ProtocolError, ConnectionResetError, BrokenPipeError):
@@ -92,6 +87,122 @@ class LiveServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
+
+    async def _serve_one(self, reader, writer) -> str | None:
+        """Read-dispatch-respond for one frame; returns the op (None on EOF)."""
+        try:
+            header, payload = await read_frame(reader)
+        except EOFError:
+            return None
+        try:
+            resp, body = await self._dispatch(header, payload)
+        except ProtocolError:
+            raise
+        except BaseException as exc:
+            resp = {
+                "ok": False,
+                "error_type": type(exc).__name__,
+                "error": str(exc),
+            }
+            body = b""
+        self.requests_served += 1
+        await write_frame(writer, resp, body)
+        return header.get("op")
+
+    async def _serve_one_traced(self, reader, writer) -> str | None:
+        """The traced request path: one dispatch span + latency attribution.
+
+        The dispatch span is a *local* root backdated to frame arrival; a
+        propagated client trace context pins its ``trace_id`` and lands as
+        ``attrs["remote_parent"]`` (remote span ids never masquerade as
+        local parent links).  The span is installed as the handler task's
+        current scope, so every flow span the dispatch spawns — put/get
+        roots, offload and codec-pool spans — parents under it through the
+        contextvar, forming one tree per request.
+
+        Attribution: flow waits charge the request sink (classified by
+        the tracer) and are normalized to the dispatch wall interval when
+        concurrent flows overlap their waits; handler-side
+        socket/serialization costs are measured directly, ``loop_cpu`` is
+        the dispatch residual, and ``other`` closes the sum to
+        end-to-end exactly.  The partial breakdown
+        (everything but the response serialize/send, which cannot observe
+        itself) returns to the client as ``attr`` + ``srv_span``.
+        """
+        tracer = self.live.tracer
+        try:
+            header, payload, t_arrival, read_s, decode_s = await read_frame_timed(
+                reader, tracer._clock
+            )
+        except EOFError:
+            return None
+        op = header.get("op", "?")
+        span = tracer.begin(
+            f"rpc.{op}",
+            category="rpc",
+            parent=None,
+            trace_id=header.get("trace"),
+            t0=t_arrival,
+            client=header.get("client"),
+        )
+        if header.get("span") is not None:
+            span.set(remote_parent=header["span"])
+        sink: dict[str, float] = {}
+        scope_token = tracer.activate(span)
+        attr_token = tracer.push_attribution(sink)
+        t_svc0 = tracer.now
+        try:
+            resp, body = await self._dispatch(header, payload)
+        except ProtocolError:
+            tracer.end(span, error="ProtocolError")
+            raise
+        except BaseException as exc:
+            resp = {
+                "ok": False,
+                "error_type": type(exc).__name__,
+                "error": str(exc),
+            }
+            body = b""
+            span.set(error=f"{type(exc).__name__}: {exc}")
+        finally:
+            service_s = tracer.now - t_svc0
+            tracer.pop_attribution(attr_token)
+            tracer.deactivate(scope_token)
+        self.requests_served += 1
+        # Concurrent flows (block fan-out, background protection) overlap
+        # their waits, so charged seconds can exceed the dispatch wall
+        # interval.  Reconcile by scaling the categories down to the
+        # interval — ratios are preserved, the sum closes against wall
+        # time, and the raw overlap factor lands on the span.
+        sink_total = sum(sink.values())
+        wait_overlap = sink_total / service_s if service_s > 0.0 else 0.0
+        if sink_total > service_s > 0.0:
+            scale = service_s / sink_total
+            sink = {k: v * scale for k, v in sink.items()}
+            loop_cpu = 0.0
+        else:
+            loop_cpu = max(0.0, service_s - sink_total)
+        attr = {"socket_read": read_s, "serialization": decode_s, **sink,
+                "loop_cpu": loop_cpu}
+        resp["attr"] = attr
+        resp["srv_span"] = span.span_id
+        t_ser0 = tracer.now
+        parts = frame_parts(resp, body)
+        t_ser1 = tracer.now
+        writer.writelines(parts)
+        await writer.drain()
+        t_end = tracer.now
+        breakdown = dict(attr)
+        breakdown["serialization"] += t_ser1 - t_ser0
+        breakdown["socket_write"] = t_end - t_ser1
+        e2e = t_end - t_arrival
+        # Exact closure: "other" absorbs what no probe measured (handler
+        # bookkeeping, clock skew between probes); near zero by design.
+        breakdown["other"] = e2e - sum(breakdown.values())
+        span.t1 = t_end
+        span.set(op=op, e2e_s=e2e, breakdown=breakdown, wait_overlap=wait_overlap)
+        self.live.observe_request(op, e2e, breakdown)
+        return op
 
     def _bbox(self, header: dict[str, Any]) -> BBox:
         return BBox(tuple(header["lb"]), tuple(header["ub"]))
@@ -165,6 +276,10 @@ class LiveServer:
             return {"ok": True, "snapshot": live.state_snapshot()}, b""
         if op == "stats":
             return {"ok": True, "stats": live.stats()}, b""
+        if op == "metrics":
+            # Prometheus text exposition as the response payload — the
+            # live protocol's /metrics endpoint.
+            return {"ok": True}, live.metrics_text().encode("utf-8")
         if op == "verify":
             return {"ok": True, "result": await live.verify_all()}, b""
         if op == "shutdown":
@@ -173,14 +288,28 @@ class LiveServer:
 
 
 class ServerHandle:
-    """A live server running on its own thread + event loop."""
+    """A live server running on its own thread + event loop.
 
-    def __init__(self, host: str, port: int, thread: threading.Thread, loop: asyncio.AbstractEventLoop, server: LiveServer):
+    ``live`` exposes the underlying service for observability readers
+    (tracer spans, metrics registry) — safe to inspect from the launching
+    thread once the server has stopped, or read-only while it runs.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        thread: threading.Thread,
+        loop: asyncio.AbstractEventLoop,
+        server: LiveServer,
+        live: LiveStagingService | None = None,
+    ):
         self.host = host
         self.port = port
         self._thread = thread
         self._loop = loop
         self._server = server
+        self.live = live
 
     def stop(self, timeout: float = 30.0) -> None:
         """Request shutdown and join the server thread."""
@@ -204,21 +333,32 @@ def serve_in_thread(
     port: int = 0,
     time_scale: float = 0.0,
     max_workers: int | None = None,
+    tracing: bool = False,
 ) -> ServerHandle:
-    """Run a live staging server on a dedicated thread; returns its handle."""
+    """Run a live staging server on a dedicated thread; returns its handle.
+
+    ``tracing=True`` gives the service a wall-clock tracer (distributed
+    span trees, per-request attribution, loop-lag watchdog); read the
+    results through ``handle.live`` after ``handle.stop()``.
+    """
     started = threading.Event()
     box: dict[str, Any] = {}
 
     def runner() -> None:
         async def main() -> None:
             live = LiveStagingService(
-                config, policy_factory(), time_scale=time_scale, max_workers=max_workers
+                config,
+                policy_factory(),
+                time_scale=time_scale,
+                max_workers=max_workers,
+                tracing=tracing,
             )
             server = LiveServer(live)
             bound_host, bound_port = await server.start(host, port)
             box["host"], box["port"] = bound_host, bound_port
             box["loop"] = asyncio.get_running_loop()
             box["server"] = server
+            box["live"] = live
             started.set()
             await server.serve_until_shutdown()
 
@@ -235,4 +375,6 @@ def serve_in_thread(
         raise RuntimeError("live server failed to start within 30s")
     if "error" in box:
         raise RuntimeError(f"live server failed to start: {box['error']!r}")
-    return ServerHandle(box["host"], box["port"], thread, box["loop"], box["server"])
+    return ServerHandle(
+        box["host"], box["port"], thread, box["loop"], box["server"], box["live"]
+    )

@@ -29,6 +29,8 @@ import numpy as np
 
 from repro.live.engine import LiveEngine
 from repro.live.transport import LiveTransport
+from repro.obs.export import prometheus_text
+from repro.obs.wallclock import WallClockTracer
 from repro.staging.domain import BBox
 from repro.staging.service import StagingConfig, StagingService
 
@@ -50,10 +52,23 @@ class LiveStagingService:
         max_workers: int | None = None,
         offload_compute: bool = True,
         parallel_codec: bool = True,
+        tracing: bool = False,
     ):
         self.engine = LiveEngine(time_scale=time_scale, max_workers=max_workers)
+        # Wall-clock tracing: the injected tracer replaces the sim-time
+        # Tracer the StagingService would build, so put/get flows, the
+        # runtime's leaf instrumentation and the engine's offload/codec
+        # spans all land in one wall-clock span tree.  `config.tracing`
+        # opts in too, for callers that only hold a StagingConfig.
+        self.tracing = bool(tracing or config.tracing)
+        self.tracer = WallClockTracer() if self.tracing else None
         transport = LiveTransport(self.engine, config.network)
-        self.service = StagingService(config, policy, engine=self.engine, transport=transport)
+        self.service = StagingService(
+            config, policy, engine=self.engine, transport=transport, tracer=self.tracer
+        )
+        if self.tracer is None:
+            self.tracer = self.service.tracer  # NULL_TRACER
+        self.engine.tracer = self.tracer
         self._codec_lock = threading.Lock()
         if offload_compute:
             self.service.runtime.compute_offload = self._offload_compute
@@ -64,6 +79,10 @@ class LiveStagingService:
             # conformance is unaffected.
             self.service.codec.code.parallel_map = self.engine.codec_map
         self._register_live_gauges()
+        if self.tracing:
+            self.engine.start_watchdog(
+                histogram=self.service.metrics.registry.histogram("live.loop.lag_s")
+            )
 
     def _register_live_gauges(self) -> None:
         """Publish live-only counters next to the service's gauges."""
@@ -71,16 +90,22 @@ class LiveStagingService:
 
         reg = self.service.metrics.registry
         code = self.service.codec.code
-        pstats = code.parallel_stats
-        reg.gauge("codec.parallel.passes", lambda: pstats["passes"])
-        reg.gauge("codec.parallel.tasks", lambda: pstats["tasks"])
-        reg.gauge("codec.parallel.serial_passes", lambda: pstats["serial_passes"])
-        reg.gauge("protocol.bytes_copied", lambda: protocol.PROTO_STATS["bytes_copied"])
-        reg.gauge("protocol.payload_copies", lambda: protocol.PROTO_STATS["payload_copies"])
+        engine = self.engine
+        code.parallel_stats.register_gauges(reg, "codec.parallel")
+        protocol.PROTO_STATS.register_gauges(reg, "protocol")
+        # Continuous saturation signals for the data plane: worker-pool
+        # backlogs, the zero-delay microqueue, in-flight offloads and the
+        # watchdog's event-loop lag readings.
+        reg.gauge("live.pool.queue_depth", lambda: engine.pool_queue_depth)
+        reg.gauge("live.codec_pool.queue_depth", lambda: engine.codec_queue_depth)
+        reg.gauge("live.microqueue.depth", lambda: engine.microqueue_depth)
+        reg.gauge("live.offloads.inflight", lambda: engine.offloads_inflight)
+        reg.gauge("live.loop.lag_last_s", lambda: engine.loop_lag_s)
+        reg.gauge("live.loop.lag_max_s", lambda: engine.loop_lag_max_s)
 
-    def _offload_compute(self, fn, exclusive: bool = True):
+    def _offload_compute(self, fn, exclusive: bool = True, category: str = "codec"):
         if not exclusive:
-            return self.engine.offload(fn)
+            return self.engine.offload(fn, charge=category)
 
         # ``exclusive`` work mutates shared scratch state that is not
         # thread-safe.  No codec path is marked exclusive anymore (the
@@ -90,7 +115,7 @@ class LiveStagingService:
             with self._codec_lock:
                 return fn()
 
-        return self.engine.offload(locked)
+        return self.engine.offload(locked, charge=category)
 
     # ------------------------------------------------------------------
     # convenience passthroughs
@@ -208,7 +233,25 @@ class LiveStagingService:
             "entities": len(self.service.directory.entities),
             "stripes": len(self.service.directory.stripes),
             "read_errors": self.service.read_errors,
+            "events_dropped": self.service.log.dropped,
         }
+
+    def observe_request(self, op: str, e2e_s: float, breakdown: dict[str, float]) -> None:
+        """Fold one traced request into the registry (loop thread only).
+
+        Per-op counters + end-to-end histograms, plus one histogram per
+        attribution category — the continuous view the periodic metrics
+        snapshot and the Prometheus dump export.
+        """
+        reg = self.service.metrics.registry
+        reg.counter(f"live.rpc.{op}").inc()
+        reg.histogram(f"live.rpc.{op}.e2e_s").observe(e2e_s)
+        for cat, dt in breakdown.items():
+            reg.histogram(f"live.attr.{cat}_s").observe(dt)
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the full metrics registry."""
+        return prometheus_text(self.service.metrics.registry)
 
     async def close(self) -> None:
         await self.engine.quiesce()

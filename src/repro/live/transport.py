@@ -64,10 +64,14 @@ class LiveTransport:
             self.stats.record(src, dst, nbytes, duration, metadata)
             return duration
         # Paced mode: reproduce the modeled fabric's NIC contention.
+        # NIC grant waits are wire queueing, not lock contention, so they
+        # attribute as "transfer" in the wall-clock breakdown.
         first, second = sorted((src, dst))
         req_a = self.nic(first).request()
+        req_a.charge = "transfer"
         yield req_a
         req_b = self.nic(second).request()
+        req_b.charge = "transfer"
         yield req_b
         try:
             yield self.engine.timeout(self.transfer_time(nbytes))

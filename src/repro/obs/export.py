@@ -24,19 +24,22 @@ id / event order, so deterministic runs export byte-identical artifacts.
 from __future__ import annotations
 
 import json
+import re
 from typing import Any, Iterable, Sequence
 
-from repro.obs.registry import Histogram
+from repro.obs.registry import Counter, Gauge, Histogram
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
     "chrome_trace",
+    "prometheus_text",
     "span_rows",
     "span_summary",
     "spans_to_breakdown",
     "write_chrome_trace",
     "write_events_jsonl",
     "write_metrics_json",
+    "write_prometheus_text",
     "write_spans_jsonl",
 ]
 
@@ -78,8 +81,17 @@ def _assign_tids(spans: Sequence[Span]) -> dict[int, int]:
     return tids
 
 
-def chrome_trace(tracer: Tracer, process_name: str = "repro-staging") -> dict[str, Any]:
-    """Render the tracer's spans as a ``trace_event`` JSON object."""
+def chrome_trace(
+    tracer: Tracer,
+    process_name: str = "repro-staging",
+    clock: str = "simulated seconds",
+) -> dict[str, Any]:
+    """Render the tracer's spans as a ``trace_event`` JSON object.
+
+    ``clock`` labels the time domain in ``otherData`` (``"simulated
+    seconds"`` for sim traces, ``"wall-clock seconds"`` for live ones) so
+    a Perfetto reader knows what the microsecond timestamps mean.
+    """
     spans = tracer.spans
     tids = _assign_tids(spans)
     events: list[dict[str, Any]] = [
@@ -112,7 +124,7 @@ def chrome_trace(tracer: Tracer, process_name: str = "repro-staging") -> dict[st
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"clock": "simulated seconds", "spans": len(spans)},
+        "otherData": {"clock": clock, "spans": len(spans)},
     }
 
 
@@ -153,13 +165,65 @@ def span_summary(tracer: Tracer) -> list[dict[str, Any]]:
 
 
 # ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_BAD.sub("_", name)
+
+
+def prometheus_text(registry) -> str:
+    """Render a :class:`MetricsRegistry` in Prometheus text exposition.
+
+    Counters and numeric gauges map directly; histograms are rendered as
+    summaries (``_count``/``_sum`` plus interpolated ``quantile`` series)
+    since the registry tracks quantiles, not cumulative buckets.
+    Non-numeric gauges (lists, strings) are skipped — Prometheus samples
+    are floats.
+    """
+    lines: list[str] = []
+    for name, metric in registry.items():
+        pname = _prom_name(name)
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {metric.value}")
+        elif isinstance(metric, Gauge):
+            value = metric.value
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {float(value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {pname} summary")
+            for q in (0.5, 0.95, 0.99):
+                lines.append(f'{pname}{{quantile="{q}"}} {metric.quantile(q)}')
+            lines.append(f"{pname}_sum {metric.total}")
+            lines.append(f"{pname}_count {metric.n}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
 # file writers
 # ---------------------------------------------------------------------------
 
-def write_chrome_trace(path: str, tracer: Tracer, process_name: str = "repro-staging") -> str:
+def write_chrome_trace(
+    path: str,
+    tracer: Tracer,
+    process_name: str = "repro-staging",
+    clock: str = "simulated seconds",
+) -> str:
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(chrome_trace(tracer, process_name), fh, indent=1, default=float)
+        json.dump(chrome_trace(tracer, process_name, clock), fh, indent=1, default=float)
         fh.write("\n")
+    return path
+
+
+def write_prometheus_text(path: str, registry) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(prometheus_text(registry))
     return path
 
 

@@ -14,10 +14,19 @@ run produces a deterministic snapshot.
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_right
+from collections.abc import Mapping
 from typing import Any, Callable, Iterable
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "latency_edges"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StatCounters",
+    "latency_edges",
+]
 
 
 class Counter:
@@ -57,6 +66,51 @@ class Gauge:
 
     def snapshot(self) -> Any:
         return self.value
+
+
+class StatCounters(Mapping):
+    """A fixed family of counters safe to increment from any thread.
+
+    Drop-in replacement for the plain-dict stat globals (`PROTO_STATS`,
+    ``RSCode.parallel_stats``) whose ``d[k] += 1`` read-modify-write
+    raced across client threads and codec-pool workers.  Reads keep the
+    dict interface (``stats["passes"]``, ``dict(stats)``) so existing
+    call sites and benchmarks work unchanged; all mutation goes through
+    :meth:`inc` under a lock.
+    """
+
+    __slots__ = ("_lock", "_values")
+
+    def __init__(self, names: Iterable[str] = ()):
+        self._lock = threading.Lock()
+        self._values: dict[str, int] = {name: 0 for name in names}
+
+    def inc(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + n
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._values)
+
+    def register_gauges(self, registry: "MetricsRegistry", prefix: str) -> None:
+        """Expose every counter as ``<prefix>.<name>`` callback gauges."""
+        for name in self._values:
+            registry.gauge(f"{prefix}.{name}", lambda n=name: self._values[n])
+
+    # Mapping interface (reads are racy-but-atomic dict lookups, which is
+    # fine for monotonically increasing ints).
+    def __getitem__(self, name: str) -> int:
+        return self._values[name]
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StatCounters({self._values!r})"
 
 
 def latency_edges(lo: float = 1e-6, hi: float = 1e3, per_decade: int = 9) -> tuple[float, ...]:
@@ -169,14 +223,21 @@ class MetricsRegistry:
 
     def __init__(self):
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        # Guards registry *structure* (creation, name iteration) against
+        # concurrent access from the live backend's worker threads.  The
+        # metrics themselves stay lock-free: counters/histograms are only
+        # mutated from the owning (loop) thread, gauges read racy-but-
+        # atomic values.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _get_or_create(self, name: str, cls, factory):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = factory()
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+        if not isinstance(metric, cls):
             raise TypeError(
                 f"metric {name!r} already registered as {type(metric).__name__}"
             )
@@ -205,17 +266,24 @@ class MetricsRegistry:
         return len(self._metrics)
 
     def names(self) -> list[str]:
-        return list(self._metrics)
+        with self._lock:
+            return list(self._metrics)
 
     def items(self):
-        return self._metrics.items()
+        with self._lock:
+            return list(self._metrics.items())
 
     def counters(self) -> dict[str, int]:
         """Creation-ordered ``{name: value}`` of the plain counters."""
         return {
-            name: m.value for name, m in self._metrics.items() if isinstance(m, Counter)
+            name: m.value for name, m in self.items() if isinstance(m, Counter)
         }
 
     def snapshot(self) -> dict[str, Any]:
-        """Flat ``{name: value}`` dict; histograms expand to summary dicts."""
-        return {name: m.snapshot() for name, m in self._metrics.items()}
+        """Flat ``{name: value}`` dict; histograms expand to summary dicts.
+
+        The metric list is copied under the lock, then each metric is
+        snapshotted outside it (gauge callbacks may themselves take
+        locks, e.g. :meth:`StatCounters.snapshot`).
+        """
+        return {name: m.snapshot() for name, m in self.items()}

@@ -55,6 +55,12 @@ class Event:
     later sequence number).
     """
 
+    #: Latency-attribution tag read by the wall-clock tracer: names the
+    #: category a flow's wait on this event is charged to ("lock_wait",
+    #: "transfer", "codec", ...).  None means "classify by event type".
+    #: Class-level default so untagged events cost no per-instance slot.
+    charge: str | None = None
+
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.callbacks: list[Callable[["Event"], None]] | None = []

@@ -50,6 +50,7 @@ class Resource:
     def request(self) -> Event:
         """Return an event that fires when a slot is granted."""
         ev = self.sim.event()
+        ev.charge = "lock_wait"  # wall-clock attribution for grant waits
         if self.in_use < self.capacity:
             self.in_use += 1
             ev.succeed(self)

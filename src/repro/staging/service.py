@@ -95,14 +95,20 @@ class StagingService:
     and a real transport, and every flow below this class runs unchanged.
     """
 
-    def __init__(self, config: StagingConfig, policy, engine=None, transport=None):
+    def __init__(self, config: StagingConfig, policy, engine=None, transport=None, tracer=None):
         self.config = config
         self.policy = policy
         self.sim = engine if engine is not None else Simulator()
         self.streams = RngStreams(config.seed)
         self.log = EventLog()
         self.metrics = Metrics()
-        self.tracer = Tracer(lambda: self.sim.now) if config.tracing else NULL_TRACER
+        # An injected tracer wins over the config flag: the live backend
+        # passes a WallClockTracer so flows are stamped on the wall clock
+        # instead of a sim-time Tracer.
+        if tracer is not None:
+            self.tracer = tracer
+        else:
+            self.tracer = Tracer(lambda: self.sim.now) if config.tracing else NULL_TRACER
 
         self.cluster = Cluster(
             n_servers=config.n_servers,
@@ -287,7 +293,7 @@ class StagingService:
         # the hash off the event loop.  The entity lock is held, so the
         # write is still recorded before any later op on this entity.
         digest = yield from self.runtime.compute(
-            lambda: payload_digest(payload), exclusive=False
+            lambda: payload_digest(payload), exclusive=False, category="digest"
         )
         ent.record_write(self.sim.now, self.step, int(payload.size), digest)
         self.metrics.storage.original += int(payload.size) - prev_bytes
@@ -380,7 +386,7 @@ class StagingService:
         )
         if verify:
             digest = yield from self.runtime.compute(
-                lambda: payload_digest(payload), exclusive=False
+                lambda: payload_digest(payload), exclusive=False, category="digest"
             )
             if digest != ent.digest:
                 self.read_errors += 1
