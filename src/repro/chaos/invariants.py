@@ -28,7 +28,15 @@ import numpy as np
 from repro.core.runtime import primary_key, replica_key
 from repro.staging.objects import ResilienceState
 
-__all__ = ["ONLINE", "QUIESCENT", "Violation", "Invariant", "INVARIANTS", "run_invariants"]
+__all__ = [
+    "ONLINE",
+    "QUIESCENT",
+    "Violation",
+    "Invariant",
+    "INVARIANTS",
+    "run_invariants",
+    "audit_violations",
+]
 
 ONLINE = "online"
 QUIESCENT = "quiescent"
@@ -372,14 +380,14 @@ def check_reverse_indexes(svc) -> list[str]:
     return problems
 
 
-def check_digest_audit(svc) -> list[str]:
-    """Full byte-exact audit through the real read paths.
+def audit_violations(svc, audit) -> list[str]:
+    """Fold a ``verify_all`` audit result into violation strings.
 
-    The only checker that *runs* the simulator (degraded decodes cost
-    simulated time), which is why it must come last and only at
-    quiescence.
+    Shared by :func:`check_digest_audit` (sim) and the live server's
+    ``invariants`` wire op (which must run the audit through its own
+    async read paths): known unprotected-window losses are exempt, every
+    other unrecoverable entity is a durability violation.
     """
-    audit = svc.verify_all()
     problems = []
     for name, block in audit["unrecoverable"]:
         ent = svc.directory.get(name, block)
@@ -394,6 +402,16 @@ def check_digest_audit(svc) -> list[str]:
             continue
         problems.append(f"entity {name}/{block} unrecoverable")
     return problems
+
+
+def check_digest_audit(svc) -> list[str]:
+    """Full byte-exact audit through the real read paths.
+
+    The only checker that *runs* the simulator (degraded decodes cost
+    simulated time), which is why it must come last and only at
+    quiescence.
+    """
+    return audit_violations(svc, svc.verify_all())
 
 
 # ----------------------------------------------------------------------

@@ -507,6 +507,9 @@ def cmd_live(args: argparse.Namespace) -> int:
     def policy_factory():
         return _make_policy(args.policy, args.storage_bound, args.seed)
 
+    if args.shards > 1:
+        return _cmd_live_cluster(args, config)
+
     if args.smoke:
         from repro.live import LiveClient, serve_in_thread
 
@@ -572,6 +575,85 @@ def cmd_live(args: argparse.Namespace) -> int:
         artifacts = _export_live_trace(args.trace_dir, box["live"])
         print(f"trace artifacts in {args.trace_dir}: "
               f"{', '.join(sorted(artifacts))}", file=sys.stderr)
+    return 0
+
+
+def _cmd_live_cluster(args: argparse.Namespace, config) -> int:
+    """``repro live --shards N``: the sharded multi-process deployment.
+
+    One OS process per coding-group shard; clients route block ops by
+    primary placement.  ``--smoke`` drives a routed workload through the
+    cluster (cross-shard puts/gets, step/flush broadcasts, full audit +
+    quiescent invariant sweep on every shard) and exits — the CI health
+    check for the cluster path.  Foreground mode prints each shard's
+    endpoint and serves until Ctrl-C.
+    """
+    from repro.live.cluster import LiveCluster
+
+    if args.policy not in ("replicate", "corec"):
+        print(
+            f"--shards requires a process-shippable policy "
+            f"(replicate or corec), not {args.policy!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.trace_dir:
+        print("--trace-dir is per-process; ignored with --shards > 1", file=sys.stderr)
+    if args.policy == "replicate":
+        pspec = ("replicate", {})
+    else:
+        # Group-scoped enforcement is the only storage-bound scope a
+        # sharded deployment can evaluate (each shard sees its groups).
+        pspec = (
+            "corec",
+            {"storage_bound": args.storage_bound, "enforcement_scope": "group"},
+        )
+
+    if args.smoke:
+        with LiveCluster(
+            config, pspec, args.shards,
+            time_scale=args.time_scale, max_workers=args.workers, host=args.host,
+        ) as cluster:
+            endpoints = [list(ep) for ep in cluster.endpoints]
+            with cluster.client(name="smoke") as cli:
+                for _ in range(3):
+                    for v in range(2):
+                        cli.put(f"var{v}", (0, 0, 0), tuple(args.domain))
+                    cli.step()
+                _, blocks = cli.get("var0", (0, 0, 0), tuple(args.domain))
+                cli.flush()
+                cli.quiesce()
+                audit = cli.verify()
+                violations = cli.invariants()
+                stats = cli.stats()
+        out = {
+            "endpoints": endpoints,
+            "blocks_read": len(blocks),
+            **stats,
+            "unrecoverable": audit["unrecoverable"],
+            "invariant_violations": violations,
+        }
+        _emit(out, args)
+        return 0 if not audit["unrecoverable"] and not violations else 1
+
+    cluster = LiveCluster(
+        config, pspec, args.shards,
+        time_scale=args.time_scale, max_workers=args.workers, host=args.host,
+    )
+    for shard, (host, port) in enumerate(cluster.endpoints):
+        print(
+            f"live staging shard {shard} on {host}:{port} "
+            f"(servers {cluster.plan.shard_servers(shard)}, policy={args.policy})",
+            file=sys.stderr,
+        )
+    try:
+        for proc in cluster.processes:
+            if proc is not None:
+                proc.join()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        cluster.stop()
     return 0
 
 
@@ -732,6 +814,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="wall seconds per modeled second (0: run flat out)")
     p_live.add_argument("--workers", type=int, default=None,
                         help="codec offload thread pool size")
+    p_live.add_argument("--shards", type=int, default=1,
+                        help="split the deployment into N shard processes "
+                             "(one per coding-group range; requires the "
+                             "group count to divide by N)")
     p_live.add_argument("--smoke", action="store_true",
                         help="serve on a thread, run a client workload, exit")
     p_live.add_argument("--trace-dir", default="",

@@ -57,6 +57,14 @@ class CoRECConfig:
     max_promotions_per_step: int = 8
     max_demotions_per_enforcement: int = 2  # smooths transition bursts
     swap_ref_margin: int = 2  # min access-frequency gap to justify a swap
+    # "global" (default) enforces S over the whole deployment's byte
+    # counts; "group" enforces it per coding group, with demotion victims
+    # drawn from the violating group only.  Group scope makes every
+    # enforcement decision a pure function of one coding group's state,
+    # which is what lets a sharded cluster (one process per group subset)
+    # reproduce a single process byte-identically — each shard sees
+    # exactly its groups' entities and reaches exactly the same verdicts.
+    enforcement_scope: str = "global"
     recovery: RecoveryConfig = field(default_factory=lambda: RecoveryConfig(mode="lazy"))
 
 
@@ -117,12 +125,14 @@ class CoRECPolicy(ResiliencePolicy):
             if self.config.promote_on_access and self.classifier.is_hot(ent.key, step):
                 self._maybe_schedule_promotion(ent)
 
-        self._enforce_storage_bound(step=step)
+        self._enforce_storage_bound(step=step, ent=ent)
 
     # ------------------------------------------------------------------
     # storage-bound enforcement: demote coldest replicated entities
     # ------------------------------------------------------------------
-    def _enforce_storage_bound(self, step: int | None = None) -> None:
+    def _enforce_storage_bound(
+        self, step: int | None = None, ent: BlockEntity | None = None
+    ) -> None:
         """Demote the coldest replicated entities until the bound holds.
 
         Hysteresis: within ``storage_bound_slack`` below the bound, only
@@ -131,7 +141,19 @@ class CoRECPolicy(ResiliencePolicy):
         Under a hard violation (below bound - slack), anything goes, which
         is the paper's "objects are erasure coded irrespective of their
         classification" regime.
+
+        Group scope: ``ent`` names the entity whose write triggered the
+        check (only its coding group is enforced); with no entity (the
+        step barrier) every group is enforced in ascending id order.
         """
+        if self.config.enforcement_scope == "group":
+            if ent is not None:
+                groups = [self._group_of(ent)]
+            else:
+                groups = list(range(self.rt.layout.n_coding_groups()))
+            for gid in groups:
+                self._enforce_group_bound(gid, step=step)
+            return
         storage = self.rt.metrics.storage
         scheduled = 0
         projected_replica = 0
@@ -140,16 +162,64 @@ class CoRECPolicy(ResiliencePolicy):
             if eff >= self.config.storage_bound:
                 break
             soft = eff >= self.config.storage_bound - self.config.storage_bound_slack
-            ent = self._coldest_replicated(exclude_hot=soft, step=step)
-            if ent is None:
+            victim = self._coldest_replicated(exclude_hot=soft, step=step)
+            if victim is None:
                 break
             # Account the in-flight demotion so we don't over-demote.
-            projected_replica += ent.nbytes * len(ent.replicas)
-            self._schedule_demotion(ent)
+            projected_replica += victim.nbytes * len(victim.replicas)
+            self._schedule_demotion(victim)
+            scheduled += 1
+
+    # -- group-scoped enforcement --------------------------------------
+    def _group_of(self, ent: BlockEntity) -> int:
+        return self.rt.layout.coding_group_id(ent.primary)
+
+    def _group_storage(self, gid: int) -> tuple[int, int, int]:
+        """(original, replica, parity) bytes attributable to one group.
+
+        Computed from the directory's reverse indexes, so a shard that
+        holds only this group's records computes exactly what a full
+        directory would: entities charge their coding group (redirects
+        never cross groups), stripes carry their group id.
+        """
+        d = self.rt.directory
+        original = replica = parity = 0
+        for sid in self.rt.layout.coding_group_members(gid):
+            for key in d.entities_by_primary.get(sid, ()):
+                e = d.entities[key]
+                if e.version >= 0:
+                    original += e.nbytes
+                replica += e.replica_bytes_accounted
+        for stripe in d.stripes.values():
+            if stripe.group_id == gid:
+                parity += stripe.m * stripe.shard_len
+        return original, replica, parity
+
+    def _group_efficiency(self, gid: int, d_replica: int = 0) -> float:
+        original, replica, parity = self._group_storage(gid)
+        total = original + replica + d_replica + parity
+        return original / total if total else 1.0
+
+    def _enforce_group_bound(self, gid: int, step: int | None = None) -> None:
+        scheduled = 0
+        projected_replica = 0
+        while scheduled < self.config.max_demotions_per_enforcement:
+            eff = self._group_efficiency(gid, d_replica=-projected_replica)
+            if eff >= self.config.storage_bound:
+                break
+            soft = eff >= self.config.storage_bound - self.config.storage_bound_slack
+            victim = self._coldest_replicated(exclude_hot=soft, step=step, group=gid)
+            if victim is None:
+                break
+            projected_replica += victim.nbytes * len(victim.replicas)
+            self._schedule_demotion(victim)
             scheduled += 1
 
     def _coldest_replicated(
-        self, exclude_hot: bool = False, step: int | None = None
+        self,
+        exclude_hot: bool = False,
+        step: int | None = None,
+        group: int | None = None,
     ) -> BlockEntity | None:
         best: BlockEntity | None = None
         # The state set holds exactly the replicated entities, in directory
@@ -157,6 +227,8 @@ class CoRECPolicy(ResiliencePolicy):
         # whole-directory walk produced, at O(replicated) cost.
         for ent in self.rt.directory.entities_in_state(ResilienceState.REPLICATED):
             if ent.transition_in_flight:
+                continue
+            if group is not None and self._group_of(ent) != group:
                 continue
             if exclude_hot and step is not None and self.classifier.is_hot(ent.key, step):
                 continue
@@ -224,10 +296,11 @@ class CoRECPolicy(ResiliencePolicy):
         # Include promotions already in flight so concurrent promotions
         # don't all pass the same headroom check and overshoot the bound.
         extra = ent.nbytes * self.rt.layout.n_level + self._promotion_bytes_in_flight
-        return (
-            self.rt.metrics.storage.would_be_efficiency(d_replica=extra)
-            >= self.config.storage_bound
-        )
+        if self.config.enforcement_scope == "group":
+            eff = self._group_efficiency(self._group_of(ent), d_replica=extra)
+        else:
+            eff = self.rt.metrics.storage.would_be_efficiency(d_replica=extra)
+        return eff >= self.config.storage_bound
 
     def _maybe_schedule_promotion(self, ent: BlockEntity) -> None:
         """Queue a cold->hot transition.
@@ -252,7 +325,12 @@ class CoRECPolicy(ResiliencePolicy):
             if ent.state != ResilienceState.ENCODED:
                 return
             if not self._has_headroom(ent):
-                victim = self._coldest_replicated()
+                scope_gid = (
+                    self._group_of(ent)
+                    if self.config.enforcement_scope == "group"
+                    else None
+                )
+                victim = self._coldest_replicated(group=scope_gid)
                 # A swap must be clearly profitable: demanding a minimum
                 # access-frequency gap prevents ping-pong between equally
                 # hot objects (the uniform-hotness regime of case 1).

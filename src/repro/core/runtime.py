@@ -640,7 +640,7 @@ class StagingRuntime:
 
         # --- atomic registration ---
         stripe = StripeInfo(
-            stripe_id=self.directory.new_stripe_id(),
+            stripe_id=self.directory.new_stripe_id(gid),
             k=k,
             m=m,
             members=slot_keys,

@@ -15,12 +15,18 @@ entire policy/runtime/directory stack behind the
 - :class:`LiveServer` / :class:`LiveClient` — length-prefixed TCP
   protocol for real multi-client traffic (``serve_in_thread`` runs the
   whole stack on a background thread for tests and load generators);
+- :class:`LiveCluster` / :class:`ClusterClient` — sharded multi-process
+  deployment (one OS process per coding-group shard) plus the
+  block→shard routing client over the same wire protocol;
 - :mod:`repro.live.conformance` — seeded differential workloads
-  asserting sim and live reach byte-identical state at quiescence.
+  asserting sim, live and sharded-cluster runs reach byte-identical
+  state at quiescence.
 """
 
+from repro.live.cluster import LiveCluster, ShardPlan, build_policy
 from repro.live.engine import LiveEngine, LiveProcessError
 from repro.live.protocol import LiveClient, ProtocolError, RemoteOpError
+from repro.live.router import ClusterClient
 from repro.live.server import LiveServer, ServerHandle, serve_in_thread
 from repro.live.service import LiveStagingService
 from repro.live.transport import LiveTransport
@@ -36,4 +42,8 @@ __all__ = [
     "LiveClient",
     "ProtocolError",
     "RemoteOpError",
+    "LiveCluster",
+    "ShardPlan",
+    "ClusterClient",
+    "build_policy",
 ]

@@ -33,13 +33,12 @@ step counter, which both backends advance identically).
 from __future__ import annotations
 
 import asyncio
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
-from repro.core.corec import CoRECConfig, CoRECPolicy
-from repro.core.policies import ReplicationPolicy
 from repro.staging.objects import payload_digest
 from repro.staging.service import StagingConfig, StagingService
 
@@ -49,9 +48,12 @@ __all__ = [
     "build_config",
     "build_ops",
     "make_policy",
+    "policy_spec",
     "run_sim",
     "run_live",
+    "run_cluster",
     "conformance_projection",
+    "normalize_projection",
 ]
 
 
@@ -70,6 +72,20 @@ class WorkloadSpec:
     rewrite_fraction: float = 0.5
     failures: tuple[tuple[int, int], ...] = ()  # (step, server) pairs
     config_overrides: dict[str, Any] = field(default_factory=dict)
+    # Extra CoRECConfig fields (ignored for "replicate").  The sharded
+    # differential tests set enforcement_scope="group" on *both* sides of
+    # the comparison — group-scoped storage-bound enforcement is what a
+    # sharded deployment can actually compute, so the single-process
+    # reference must enforce the same way.
+    policy_overrides: dict[str, Any] = field(default_factory=dict)
+
+    def with_overrides(self, **policy_overrides: Any) -> "WorkloadSpec":
+        """Copy of this spec with extra policy overrides merged in."""
+        import dataclasses
+
+        return dataclasses.replace(
+            self, policy_overrides={**self.policy_overrides, **policy_overrides}
+        )
 
 
 WORKLOADS: dict[str, WorkloadSpec] = {
@@ -115,17 +131,29 @@ def build_config(spec: WorkloadSpec) -> StagingConfig:
     return StagingConfig(**defaults)
 
 
-def make_policy(spec: WorkloadSpec):
-    """Fresh policy instance for one run of ``spec`` (never shared)."""
+def policy_spec(spec: WorkloadSpec) -> tuple[str, dict[str, Any]]:
+    """Picklable policy spec for ``spec`` (what shard processes receive)."""
     if spec.policy == "replicate":
-        return ReplicationPolicy()
+        return ("replicate", {})
     if spec.policy == "corec":
         # Promotions react to *access order in wall-clock time*; disable
         # them so hot/cold transitions depend only on the step counter.
-        return CoRECPolicy(
-            CoRECConfig(promote_on_access=False, max_promotions_per_step=0)
+        return (
+            "corec",
+            {
+                "promote_on_access": False,
+                "max_promotions_per_step": 0,
+                **spec.policy_overrides,
+            },
         )
     raise ValueError(f"unknown conformance policy {spec.policy!r}")
+
+
+def make_policy(spec: WorkloadSpec):
+    """Fresh policy instance for one run of ``spec`` (never shared)."""
+    from repro.live.cluster import build_policy
+
+    return build_policy(policy_spec(spec))
 
 
 def build_ops(spec: WorkloadSpec) -> list[tuple]:
@@ -247,6 +275,55 @@ def run_live(spec: WorkloadSpec, **live_kwargs) -> tuple[dict, list[str]]:
     return asyncio.run(main())
 
 
+def run_cluster(
+    spec: WorkloadSpec, n_shards: int, **cluster_kwargs: Any
+) -> tuple[dict, list[str]]:
+    """Play ``spec`` on a sharded multi-process cluster over the wire.
+
+    Same tape, same full-drain-between-ops discipline as the other
+    runners (``quiesce`` broadcasts to every shard), so the cluster
+    passes through the same quiescent-state sequence.  Returns the
+    *merged* cluster projection (compare against
+    :func:`normalize_projection` of a single-process projection) and the
+    per-op read digests.
+    """
+    from repro.live.cluster import LiveCluster
+
+    reads: list[str] = []
+    with LiveCluster(
+        build_config(spec), policy_spec(spec), n_shards, **cluster_kwargs
+    ) as cluster:
+        with cluster.client(name="w") as client:
+            domain = client.domain
+            for op in build_ops(spec):
+                kind = op[0]
+                if kind == "put":
+                    _, var, block = op
+                    box = domain.block_bbox(block)
+                    client.put(var, box.lb, box.ub)
+                elif kind == "get":
+                    _, var, block = op
+                    box = domain.block_bbox(block)
+                    _, payloads = client.get(var, box.lb, box.ub)
+                    for bid in sorted(payloads):
+                        reads.append(
+                            payload_digest(np.frombuffer(payloads[bid], dtype=np.uint8))
+                        )
+                elif kind == "step":
+                    client.step()
+                elif kind == "flush":
+                    client.flush()
+                elif kind == "fail":
+                    client.fail_server(op[1])
+                elif kind == "replace":
+                    client.replace_server(op[1])
+                else:  # pragma: no cover - tape bug
+                    raise ValueError(f"unknown op {op!r}")
+                client.quiesce()  # same quiescent-state sequence as sim/live
+            projection = client.projection()
+    return projection, reads
+
+
 # ---------------------------------------------------------------------------
 # projection
 # ---------------------------------------------------------------------------
@@ -314,6 +391,16 @@ def conformance_projection(svc: StagingService) -> dict:
         },
         "read_errors": svc.read_errors,
     }
+
+
+def normalize_projection(projection: dict) -> dict:
+    """JSON round-trip of a projection (int dict keys become strings).
+
+    Wire projections pass through JSON headers, which stringifies the
+    stripe-id and group-id keys; normalizing the in-process reference the
+    same way makes :func:`diff_projections` comparisons exact.
+    """
+    return json.loads(json.dumps(projection))
 
 
 def diff_projections(a: dict, b: dict, prefix: str = "") -> list[str]:

@@ -34,9 +34,10 @@ is appended per frame.  :class:`LiveClient` caches preambles per
 
 Operations
 ----------
-``ping``, ``put``, ``get``, ``query``, ``step``, ``flush``, ``quiesce``,
-``fail``, ``replace``, ``snapshot``, ``stats``, ``metrics``, ``verify``,
-``shutdown`` — see :class:`repro.live.server.LiveServer` for semantics.
+``ping``, ``put``, ``get``, ``mput``, ``mget``, ``query``, ``step``,
+``flush``, ``quiesce``, ``fail``, ``replace``, ``snapshot``, ``projection``,
+``stats``, ``metrics``, ``verify``, ``invariants``, ``shutdown`` — see
+:class:`repro.live.server.LiveServer` for semantics.
 
 Trace propagation
 -----------------
@@ -60,6 +61,7 @@ from __future__ import annotations
 import json
 import socket
 import struct
+import time
 from typing import Any, Sequence
 
 import numpy as np
@@ -317,10 +319,28 @@ class LiveClient:
         name: str = "client",
         timeout: float | None = 60.0,
         tracer=None,
+        connect_timeout: float | None = None,
+        reconnect: bool = True,
+        reconnect_backoff: float = 0.2,
     ):
         self.name = name
-        self.sock = socket.create_connection((host, port), timeout=timeout)
-        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.host = host
+        self.port = port
+        # ``timeout`` is the per-op deadline: every request's socket I/O
+        # must make progress within it or the op raises ``TimeoutError``.
+        # A killed/hung server therefore surfaces as a bounded, typed
+        # error instead of a caller blocked forever.
+        self.timeout = timeout
+        self._connect_timeout = connect_timeout if connect_timeout is not None else timeout
+        # One bounded reconnect: after a connection failure is surfaced,
+        # the *next* request attempts a fresh connection (with one backoff
+        # retry) instead of failing forever on a dead socket.  The failed
+        # op itself is never silently replayed — at-most-once semantics
+        # are the caller's to reason about.
+        self._reconnect = reconnect
+        self._reconnect_backoff = reconnect_backoff
+        self.sock: socket.socket | None = None
+        self._connect()
         # op/var/region header preambles, serialized once per distinct key.
         self._preambles: dict[tuple, bytes] = {}
         # Optional WallClockTracer: every request gets an rpc span whose
@@ -329,6 +349,41 @@ class LiveClient:
         # None (the default) adds zero work and zero header bytes.
         self.tracer = tracer
         self.last_attr: dict[str, float] | None = None
+
+    def _connect(self) -> None:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self._connect_timeout
+        )
+        sock.settimeout(self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.sock = sock
+
+    def _mark_broken(self) -> None:
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+            self.sock = None
+
+    def _ensure_connected(self) -> None:
+        if self.sock is not None:
+            return
+        if not self._reconnect:
+            raise ConnectionError(
+                f"connection to {self.host}:{self.port} is closed"
+            )
+        try:
+            self._connect()
+            return
+        except OSError:
+            time.sleep(self._reconnect_backoff)
+        try:
+            self._connect()
+        except OSError as exc:
+            raise ConnectionError(
+                f"reconnect to {self.host}:{self.port} failed: {exc}"
+            ) from exc
 
     # -- framing -------------------------------------------------------
     def _send_parts(self, parts: list[Buffer]) -> None:
@@ -401,12 +456,29 @@ class LiveClient:
         preamble: bytes | None,
         extra: dict[str, Any] | None,
     ) -> tuple[dict[str, Any], memoryview]:
-        self._send_parts(frame_parts(header, payload, preamble=preamble, extra=extra))
-        (hlen,) = _LEN.unpack(self._recv_exactly(_LEN.size))
-        if hlen == 0 or hlen > MAX_HEADER_BYTES:
-            raise ProtocolError(f"bad header length {hlen}")
-        resp = _decode_header(self._recv_exactly(hlen))
-        body = self._recv_exactly(resp["payload_len"]) if resp["payload_len"] else memoryview(b"")
+        self._ensure_connected()
+        op = header.get("op", "?")
+        try:
+            self._send_parts(frame_parts(header, payload, preamble=preamble, extra=extra))
+            (hlen,) = _LEN.unpack(self._recv_exactly(_LEN.size))
+            if hlen == 0 or hlen > MAX_HEADER_BYTES:
+                raise ProtocolError(f"bad header length {hlen}")
+            resp = _decode_header(self._recv_exactly(hlen))
+            body = self._recv_exactly(resp["payload_len"]) if resp["payload_len"] else memoryview(b"")
+        except socket.timeout as exc:
+            # The op blew its deadline: the connection's framing state is
+            # unknown (a late response would desync the next request), so
+            # the socket is condemned and the next op reconnects.
+            self._mark_broken()
+            raise TimeoutError(
+                f"rpc {op!r} to {self.host}:{self.port} exceeded the "
+                f"{self.timeout}s deadline"
+            ) from exc
+        except (EOFError, OSError) as exc:
+            self._mark_broken()
+            raise ConnectionError(
+                f"connection to {self.host}:{self.port} lost during rpc {op!r}: {exc}"
+            ) from exc
         PROTO_STATS.inc("frames_in")
         if not resp.get("ok", False):
             raise RemoteOpError(resp.get("error_type", "Error"), resp.get("error", "unknown"))
@@ -446,6 +518,47 @@ class LiveClient:
             off += nbytes
         return float(resp["duration"]), blocks
 
+    def mput(
+        self,
+        var: str,
+        puts: Sequence[tuple],
+        parts: Sequence[Buffer] = (),
+        dtype: str | None = None,
+    ) -> float:
+        """Batched put: ``puts`` is ``[(lb, ub, nbytes), ...]``; ``parts``
+        the matching payload buffers in order (scatter/gather, no join)."""
+        header: dict[str, Any] = {
+            "op": "mput", "client": self.name, "var": var,
+            "puts": [[list(lb), list(ub), int(n)] for lb, ub, n in puts],
+        }
+        if dtype is not None:
+            header["dtype"] = dtype
+        resp, _ = self.request(header, list(parts))
+        return float(resp["duration"])
+
+    def mget(
+        self, var: str, regions: Sequence[tuple], verify: bool | None = None
+    ) -> tuple[float, dict[int, memoryview]]:
+        """Batched get of several ``(lb, ub)`` regions of one variable."""
+        header: dict[str, Any] = {
+            "op": "mget", "client": self.name, "var": var,
+            "regions": [[list(lb), list(ub)] for lb, ub in regions],
+        }
+        if verify is not None:
+            header["verify"] = bool(verify)
+        resp, body = self.request(header)
+        blocks: dict[int, memoryview] = {}
+        off = 0
+        for bid, nbytes in resp["blocks"]:
+            blocks[int(bid)] = body[off:off + nbytes]  # zero-copy slice
+            off += nbytes
+        return float(resp["duration"]), blocks
+
+    def projection(self) -> dict[str, Any]:
+        """Quiescent conformance projection of the server's deployment."""
+        resp, _ = self.request({"op": "projection"})
+        return resp["projection"]
+
     def query(self, var: str, lb, ub) -> list[dict[str, Any]]:
         resp, _ = self.request({"op": "query", "var": var, "lb": list(lb), "ub": list(ub)})
         return resp["blocks"]
@@ -483,6 +596,11 @@ class LiveClient:
         resp, _ = self.request({"op": "verify"})
         return resp["result"]
 
+    def invariants(self) -> list[str]:
+        """Quiescent invariant sweep on the server; returns violations."""
+        resp, _ = self.request({"op": "invariants"})
+        return resp["violations"]
+
     def shutdown(self) -> None:
         try:
             self.request({"op": "shutdown"})
@@ -490,10 +608,13 @@ class LiveClient:
             pass
 
     def close(self) -> None:
+        if self.sock is None:
+            return
         try:
             self.sock.close()
         except OSError:  # pragma: no cover - best effort
             pass
+        self.sock = None
 
     def __enter__(self) -> "LiveClient":
         return self

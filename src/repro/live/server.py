@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Any, Callable
 
 import numpy as np
@@ -40,10 +41,18 @@ __all__ = ["LiveServer", "ServerHandle", "serve_in_thread"]
 class LiveServer:
     """Protocol frontend over one live staging service."""
 
-    def __init__(self, live: LiveStagingService):
+    def __init__(self, live: LiveStagingService, drain_timeout: float = 30.0):
         self.live = live
         self._server: asyncio.AbstractServer | None = None
         self._shutdown = asyncio.Event()
+        # In-flight dispatch accounting for graceful shutdown: the drain
+        # waits until every request that had started dispatching has sent
+        # its response, so a `shutdown` frame on one connection cannot
+        # yank the service out from under another connection's put.
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.drain_timeout = drain_timeout
         self.connections_served = 0
         self.requests_served = 0
 
@@ -55,14 +64,26 @@ class LiveServer:
         return sockname[0], sockname[1]
 
     async def serve_until_shutdown(self) -> None:
-        """Serve until a ``shutdown`` frame arrives, then drain and close."""
+        """Serve until a ``shutdown`` frame (or :meth:`stop`), then drain and close.
+
+        Teardown order: stop accepting, wait for in-flight requests to
+        finish responding (bounded by ``drain_timeout``), then quiesce and
+        close the engine.  Requests that outlive the drain deadline are
+        abandoned (their tasks are cancelled when the loop winds down).
+        """
         if self._server is None:
             raise RuntimeError("start() first")
         async with self._server:
             await self._shutdown.wait()
+        if self._inflight:
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout=self.drain_timeout)
+            except asyncio.TimeoutError:  # pragma: no cover - pathological op
+                pass
         await self.live.close()
 
     async def stop(self) -> None:
+        """Schedule a graceful stop (same path as the ``shutdown`` wire op)."""
         self._shutdown.set()
 
     # ------------------------------------------------------------------
@@ -94,19 +115,23 @@ class LiveServer:
             header, payload = await read_frame(reader)
         except EOFError:
             return None
+        self._begin_request()
         try:
-            resp, body = await self._dispatch(header, payload)
-        except ProtocolError:
-            raise
-        except BaseException as exc:
-            resp = {
-                "ok": False,
-                "error_type": type(exc).__name__,
-                "error": str(exc),
-            }
-            body = b""
-        self.requests_served += 1
-        await write_frame(writer, resp, body)
+            try:
+                resp, body = await self._dispatch(header, payload)
+            except ProtocolError:
+                raise
+            except BaseException as exc:
+                resp = {
+                    "ok": False,
+                    "error_type": type(exc).__name__,
+                    "error": str(exc),
+                }
+                body = b""
+            self.requests_served += 1
+            await write_frame(writer, resp, body)
+        finally:
+            self._end_request()
         return header.get("op")
 
     async def _serve_one_traced(self, reader, writer) -> str | None:
@@ -136,6 +161,18 @@ class LiveServer:
             )
         except EOFError:
             return None
+        self._begin_request()
+        try:
+            return await self._serve_one_traced_inner(
+                writer, header, payload, t_arrival, read_s, decode_s
+            )
+        finally:
+            self._end_request()
+
+    async def _serve_one_traced_inner(
+        self, writer, header, payload, t_arrival, read_s, decode_s
+    ) -> str:
+        tracer = self.live.tracer
         op = header.get("op", "?")
         span = tracer.begin(
             f"rpc.{op}",
@@ -204,6 +241,15 @@ class LiveServer:
         self.live.observe_request(op, e2e, breakdown)
         return op
 
+    def _begin_request(self) -> None:
+        self._inflight += 1
+        self._idle.clear()
+
+    def _end_request(self) -> None:
+        self._inflight -= 1
+        if self._inflight == 0:
+            self._idle.set()
+
     def _bbox(self, header: dict[str, Any]) -> BBox:
         return BBox(tuple(header["lb"]), tuple(header["ub"]))
 
@@ -232,6 +278,39 @@ class LiveServer:
             for bid in sorted(payloads):
                 # Zero-copy: ship a memoryview over the block's array; the
                 # scatter/gather write_frame sends the list without joining.
+                buf = np.ascontiguousarray(payloads[bid], dtype=np.uint8)
+                blocks.append([int(bid), int(buf.size)])
+                chunks.append(memoryview(buf).cast("B"))
+            return {"ok": True, "duration": duration, "blocks": blocks}, chunks
+        if op == "mput":
+            # Batched put: one shard's sub-regions of a routed client put.
+            # Header: "puts" = [[lb, ub, nbytes], ...]; payload = the
+            # sub-regions' bytes concatenated in list order (empty nbytes
+            # means synthetic payload, like a put without data).
+            dtype = np.dtype(header.get("dtype", "uint8"))
+            subputs: list[tuple[BBox, Any]] = []
+            off = 0
+            for lb, ub, nbytes in header["puts"]:
+                data = None
+                if nbytes:
+                    data = np.frombuffer(
+                        payload, dtype=dtype, count=nbytes // dtype.itemsize, offset=off
+                    )
+                    off += nbytes
+                subputs.append((BBox(tuple(lb), tuple(ub)), data))
+            duration = await live.put_blocks(
+                header.get("client", "client"), header["var"], subputs
+            )
+            return {"ok": True, "duration": duration}, b""
+        if op == "mget":
+            regions = [BBox(tuple(lb), tuple(ub)) for lb, ub in header["regions"]]
+            duration, payloads = await live.get_blocks(
+                header.get("client", "client"), header["var"], regions,
+                header.get("verify"),
+            )
+            blocks = []
+            chunks = []
+            for bid in sorted(payloads):
                 buf = np.ascontiguousarray(payloads[bid], dtype=np.uint8)
                 blocks.append([int(bid), int(buf.size)])
                 chunks.append(memoryview(buf).cast("B"))
@@ -274,6 +353,14 @@ class LiveServer:
         if op == "snapshot":
             await live.quiesce()
             return {"ok": True, "snapshot": live.state_snapshot()}, b""
+        if op == "projection":
+            # Quiescent conformance projection (timing-free state) — what
+            # the sharded differential harness merges across shards and
+            # diffs against a single-process run.
+            from repro.live.conformance import conformance_projection
+
+            await live.quiesce()
+            return {"ok": True, "projection": conformance_projection(live.service)}, b""
         if op == "stats":
             return {"ok": True, "stats": live.stats()}, b""
         if op == "metrics":
@@ -282,7 +369,37 @@ class LiveServer:
             return {"ok": True}, live.metrics_text().encode("utf-8")
         if op == "verify":
             return {"ok": True, "result": await live.verify_all()}, b""
+        if op == "invariants":
+            # Quiescent invariant sweep over this deployment's state —
+            # what chaos campaigns run in-process, exposed on the wire so
+            # a cluster coordinator can audit every shard after a fault.
+            # The digest audit runs through the live async read paths
+            # (its sim checker would call the engine's forbidden run()).
+            from repro.chaos.invariants import (
+                INVARIANTS,
+                QUIESCENT,
+                Violation,
+                audit_violations,
+                run_invariants,
+            )
+
+            await live.quiesce()
+            state_checks = [i.name for i in INVARIANTS if i.name != "digest_audit"]
+            violations = run_invariants(live.service, tier=QUIESCENT, names=state_checks)
+            audit = await live.verify_all()
+            now = live.engine.now
+            violations.extend(
+                Violation("digest_audit", detail, now)
+                for detail in audit_violations(live.service, audit)
+            )
+            return {"ok": True, "violations": [str(v) for v in violations]}, b""
         if op == "shutdown":
+            # Schedule the graceful stop *here*, not as a side effect of
+            # the connection loop: serve_until_shutdown stops accepting,
+            # drains in-flight requests (this response included) and then
+            # closes the engine — the teardown the cluster coordinator
+            # relies on for clean shard shutdown.
+            await self.stop()
             return {"ok": True}, b""
         raise ProtocolError(f"unknown op {op!r}")
 
@@ -303,6 +420,7 @@ class ServerHandle:
         loop: asyncio.AbstractEventLoop,
         server: LiveServer,
         live: LiveStagingService | None = None,
+        box: dict[str, Any] | None = None,
     ):
         self.host = host
         self.port = port
@@ -310,14 +428,45 @@ class ServerHandle:
         self._loop = loop
         self._server = server
         self.live = live
+        self._box = box if box is not None else {}
 
     def stop(self, timeout: float = 30.0) -> None:
-        """Request shutdown and join the server thread."""
+        """Request shutdown, surface its outcome, and join the server thread.
+
+        The stop coroutine runs on the server's loop; its future is
+        awaited with a deadline and any exception it raised is re-raised
+        here instead of being dropped on the floor (a lost stop error
+        used to surface only as an undiagnosed join timeout).  A crash of
+        the server thread itself (recorded by the runner) is re-raised
+        after the join for the same reason.
+        """
         if self._thread.is_alive():
-            asyncio.run_coroutine_threadsafe(self._server.stop(), self._loop)
+            try:
+                future = asyncio.run_coroutine_threadsafe(self._server.stop(), self._loop)
+            except RuntimeError:
+                # The loop wound down between the aliveness check and the
+                # submit — the thread is exiting; fall through to join.
+                future = None
+            if future is not None:
+                try:
+                    future.result(timeout)
+                except FuturesTimeoutError:
+                    future.cancel()
+                    raise RuntimeError(
+                        f"live server stop() did not complete within {timeout}s"
+                    ) from None
         self._thread.join(timeout)
         if self._thread.is_alive():  # pragma: no cover - watchdog
             raise RuntimeError("live server thread did not stop")
+        err = self._box.get("error")
+        if err is not None and not self._box.get("error_raised"):
+            self._box["error_raised"] = True
+            raise RuntimeError(f"live server thread failed: {err!r}") from err
+
+    def join(self, timeout: float | None = None) -> None:
+        """Block until the server thread exits (e.g. after a ``shutdown``
+        frame drains it) — how a shard process waits out its lifetime."""
+        self._thread.join(timeout)
 
     def __enter__(self) -> "ServerHandle":
         return self
@@ -364,7 +513,9 @@ def serve_in_thread(
 
         try:
             asyncio.run(main())
-        except BaseException as exc:  # pragma: no cover - surfaced via handle
+        except BaseException as exc:
+            # Before start(): surfaced by serve_in_thread below.  After:
+            # surfaced by ServerHandle.stop() once the thread is joined.
             box["error"] = exc
             started.set()
             raise
@@ -376,5 +527,6 @@ def serve_in_thread(
     if "error" in box:
         raise RuntimeError(f"live server failed to start: {box['error']!r}")
     return ServerHandle(
-        box["host"], box["port"], thread, box["loop"], box["server"], box["live"]
+        box["host"], box["port"], thread, box["loop"], box["server"], box["live"],
+        box=box,
     )

@@ -22,6 +22,7 @@ no codec path needs it anymore.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 from typing import Any
 
@@ -164,6 +165,37 @@ class LiveStagingService:
         return await self.engine.run_process(
             self.service.get(client_name, name, region, verify), name=f"get-{name}"
         )
+
+    # ------------------------------------------------------------------
+    # batched ops (one shard's slice of a routed multi-block request)
+    # ------------------------------------------------------------------
+    async def put_blocks(
+        self, client_name: str, name: str, subputs: list[tuple[BBox, np.ndarray | None]]
+    ) -> float:
+        """Stage several sub-regions of one variable concurrently.
+
+        A cluster router decomposes a client put onto the block grid and
+        ships each shard exactly the sub-regions it owns in one ``mput``
+        frame; the sub-puts then fan out here just like the block flows of
+        a single-process multi-block put.  Returns the slowest sub-put's
+        response time (the batch's completion time).
+        """
+        durations = await asyncio.gather(
+            *(self.put(client_name, name, bbox, data) for bbox, data in subputs)
+        )
+        return max(durations)
+
+    async def get_blocks(
+        self, client_name: str, name: str, regions: list[BBox], verify: bool | None = None
+    ) -> tuple[float, dict[int, np.ndarray]]:
+        """Read several regions of one variable concurrently; merged payloads."""
+        results = await asyncio.gather(
+            *(self.get(client_name, name, region, verify) for region in regions)
+        )
+        payloads: dict[int, np.ndarray] = {}
+        for _, part in results:
+            payloads.update(part)
+        return max(d for d, _ in results), payloads
 
     async def end_step(self) -> None:
         await self.engine.run_process(self.service.end_step(), name="end_step")

@@ -54,6 +54,7 @@ class MetadataDirectory:
         self.entities: dict[tuple[str, int], BlockEntity] = {}
         self.stripes: dict[int, StripeInfo] = {}
         self._next_stripe_id = 0
+        self._stripes_formed_by_group: dict[int, int] = {}
         self._next_entity_seq = 0
         self.entities_by_primary: dict[int, set[tuple[str, int]]] = {}
         self.entities_by_state: dict[ResilienceState, set[tuple[str, int]]] = {
@@ -101,7 +102,23 @@ class MetadataDirectory:
         return ent
 
     # ------------------------------------------------------------------
-    def new_stripe_id(self) -> int:
+    def new_stripe_id(self, group_id: int | None = None) -> int:
+        """Allocate a stripe id; deterministic under directory partitioning.
+
+        With a ``group_id`` (and a layout to size the id space), ids are
+        striped per coding group: the i-th stripe formed in group ``g``
+        gets ``g + n_coding_groups * i``.  Two directories that each hold
+        a disjoint subset of the coding groups therefore allocate exactly
+        the ids a single directory holding all groups would — which is
+        what lets a sharded cluster's metadata merge byte-identically
+        with a single-process run.  Without a group (or layout) the
+        legacy global counter applies.
+        """
+        if group_id is not None and self.layout is not None:
+            n_groups = self.layout.n_coding_groups()
+            count = self._stripes_formed_by_group.get(group_id, 0)
+            self._stripes_formed_by_group[group_id] = count + 1
+            return group_id + n_groups * count
         sid = self._next_stripe_id
         self._next_stripe_id += 1
         return sid

@@ -36,7 +36,7 @@ from repro.staging.server import CostModel, StagingServer
 from repro.util.eventlog import EventLog
 from repro.util.rng import RngStreams, stable_hash
 
-__all__ = ["StagingConfig", "StagingService"]
+__all__ = ["StagingConfig", "StagingService", "build_geometry"]
 
 
 @dataclass
@@ -85,6 +85,36 @@ class StagingConfig:
             )
 
 
+def build_geometry(config: StagingConfig) -> tuple[Cluster, Domain, SpatialIndex, GroupLayout]:
+    """Deterministic placement geometry of a deployment: no servers, no state.
+
+    Everything that maps a block to servers and servers to groups —
+    cluster topology, block grid, spatial index, group layout — is a pure
+    function of the config.  The service builds its runtime on top of
+    this; a cluster coordinator builds *only* this to route client ops to
+    the shard that owns each block, guaranteed to agree with every shard's
+    own view because they all derive it from the same config.
+    """
+    cluster = Cluster(
+        n_servers=config.n_servers,
+        servers_per_node=config.servers_per_node,
+        nodes_per_cabinet=config.nodes_per_cabinet,
+    )
+    block_shape = choose_block_shape(
+        config.domain_shape, config.element_bytes, config.object_max_bytes
+    )
+    domain = Domain(config.domain_shape, block_shape, config.element_bytes)
+    index = SpatialIndex(domain, config.n_servers, scheme=config.index_scheme)
+    layout = GroupLayout(
+        cluster,
+        n_level=config.n_level,
+        k=config.k,
+        m=config.n_level,
+        topology_aware=config.topology_aware,
+    )
+    return cluster, domain, index, layout
+
+
 class StagingService:
     """One staging deployment under one resilience policy.
 
@@ -110,11 +140,7 @@ class StagingService:
         else:
             self.tracer = Tracer(lambda: self.sim.now) if config.tracing else NULL_TRACER
 
-        self.cluster = Cluster(
-            n_servers=config.n_servers,
-            servers_per_node=config.servers_per_node,
-            nodes_per_cabinet=config.nodes_per_cabinet,
-        )
+        self.cluster, self.domain, self.index, self.layout = build_geometry(config)
         self.network = transport if transport is not None else Network(self.sim, config.network)
         self.servers = [
             StagingServer(
@@ -123,18 +149,6 @@ class StagingService:
             )
             for sid in range(config.n_servers)
         ]
-        block_shape = choose_block_shape(
-            config.domain_shape, config.element_bytes, config.object_max_bytes
-        )
-        self.domain = Domain(config.domain_shape, block_shape, config.element_bytes)
-        self.index = SpatialIndex(self.domain, config.n_servers, scheme=config.index_scheme)
-        self.layout = GroupLayout(
-            self.cluster,
-            n_level=config.n_level,
-            k=config.k,
-            m=config.n_level,
-            topology_aware=config.topology_aware,
-        )
         self.directory = MetadataDirectory(self.domain, config.n_servers, layout=self.layout)
         self.codec = StripeCodec(config.k, config.n_level, config.rs_construction)
         self.runtime = StagingRuntime(
@@ -488,7 +502,20 @@ class StagingService:
         if ent.state == ResilienceState.PENDING_STRIPE:
             self.runtime.redirect_pending(ent)
             return
-        # Unprotected: place on the next alive ring successor.
+        # Unprotected: stay inside the primary's coding group if any member
+        # is alive (every other redirect path above is group-confined too,
+        # which is what keeps an entity's whole footprint in one failure
+        # domain — and in one shard of a partitioned deployment); fall back
+        # to the global ring successor only when the entire group is down.
+        members = self.layout.coding_group_members(
+            self.layout.coding_group_id(ent.primary)
+        )
+        start = members.index(ent.primary)
+        for off in range(1, len(members)):
+            cand = members[(start + off) % len(members)]
+            if not self.servers[cand].failed:
+                ent.primary = cand
+                return
         ring = self.layout.ring
         pos = self.layout.pos[ent.primary]
         for off in range(1, len(ring)):

@@ -224,3 +224,20 @@ class TestDurabilityCommand:
         assert out["group_mttdl_s"] > 0
         assert 0.0 <= out["annual_loss_probability"] <= 1.0
         assert len(out["deadline_sweep"]) == 5
+
+
+class TestLiveClusterCommand:
+    def test_sharded_smoke_json(self, capsys):
+        rc = main(["--json", "live", "--shards", "2", "--smoke"])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert len(out["endpoints"]) == 2
+        assert out["blocks_read"] > 0
+        assert out["shards"] == 2
+        assert out["unrecoverable"] == []
+        assert out["invariant_violations"] == []
+
+    def test_sharded_rejects_unshippable_policy(self, capsys):
+        rc = main(["live", "--shards", "2", "--policy", "hybrid", "--smoke"])
+        assert rc == 2
+        assert "process-shippable" in capsys.readouterr().err
