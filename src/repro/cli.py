@@ -10,6 +10,9 @@ Usage::
     python -m repro trace --case case1 --policy corec --out traces/
     python -m repro report --trace traces/spans.jsonl
     python -m repro scale --servers 4 8 16
+    python -m repro load --process poisson --rate 50 --duration 2 \
+        --shards 2 --capture run.tape.jsonl
+    python -m repro replay --tape run.tape.jsonl --backend cluster --shards 2
 
 ``--fail STEP:SERVER`` / ``--replace STEP:SERVER`` inject the paper's
 Figure-10-style failure schedules.  ``trace`` runs with hierarchical span
@@ -657,6 +660,191 @@ def _cmd_live_cluster(args: argparse.Namespace, config) -> int:
     return 0
 
 
+def _load_config(args: argparse.Namespace):
+    """Deployment config for the load/replay verbs (conformance-sized)."""
+    from repro import StagingConfig
+
+    return StagingConfig(
+        n_servers=args.servers,
+        domain_shape=tuple(args.domain),
+        element_bytes=1,
+        object_max_bytes=args.object_bytes,
+        seed=args.seed,
+    )
+
+
+def _load_policy_spec(args: argparse.Namespace) -> tuple[str, dict]:
+    """Process-shippable policy spec shared by every load/replay backend.
+
+    Mirrors the differential-conformance discipline: promotions off (they
+    race wall-clock access order) and group-scoped enforcement (the only
+    scope a sharded deployment can evaluate), so captures and replays stay
+    comparable across backends.
+    """
+    if args.policy == "replicate":
+        return ("replicate", {})
+    return (
+        "corec",
+        {
+            "storage_bound": args.storage_bound,
+            "promote_on_access": False,
+            "max_promotions_per_step": 0,
+            "enforcement_scope": "group",
+        },
+    )
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    """Open-loop load generation against a live or sharded backend.
+
+    Seeded arrivals (constant/poisson/hotspot/diurnal/flash-crowd) drive
+    ``--flows`` concurrent clients; per-op latencies land in a metrics
+    registry and the p99/error-rate SLO gate decides the exit code.
+    ``--capture PATH`` records the run as a replayable JSONL tape.
+    """
+    from repro.live.cluster import LiveCluster, build_policy
+    from repro.live.protocol import LiveClient
+    from repro.live.server import serve_in_thread
+    from repro.staging.service import build_geometry
+    from repro.workloads.capture import Tape
+    from repro.workloads.load import SLO, LoadSpec, run_load
+
+    config = _load_config(args)
+    pspec = _load_policy_spec(args)
+    _, domain, _, _ = build_geometry(config)
+    spec = LoadSpec(
+        process=args.process,
+        rate=args.rate,
+        duration=args.duration,
+        flows=args.flows,
+        n_vars=args.vars,
+        n_blocks=args.blocks,
+        read_fraction=args.read_fraction,
+        verify_fraction=args.verify_fraction,
+        seed=args.seed,
+    )
+    slo = SLO(
+        put_p99_ms=args.slo_put_p99,
+        get_p99_ms=args.slo_get_p99,
+        max_error_rate=args.max_error_rate,
+    )
+    tape = Tape() if args.capture else None
+
+    def finish(make_client, control_client) -> dict:
+        report = run_load(
+            make_client, spec, domain=domain, slo=slo,
+            enforce_slo=not args.report_only, capture_tape=tape,
+        )
+        if tape is not None:
+            control_client.flush()
+            control_client.quiesce()
+            tape.meta["load_spec"] = {
+                "process": spec.process, "rate": spec.rate,
+                "duration": spec.duration, "flows": spec.flows,
+                "seed": spec.seed,
+            }
+            from repro.workloads.capture import config_meta
+
+            tape.meta["config"] = config_meta(config)
+            tape.meta["policy"] = [pspec[0], dict(pspec[1])]
+            # No projection_sha256 on load tapes: a streamed (unquiesced)
+            # capture's background batching — stripe formation groups
+            # whatever is pending when the encoder runs — depends on
+            # arrival timing, so the quiescent state is not a replay
+            # invariant.  Projection-grade tapes come from the serial
+            # per-op-quiesced capture in benchmarks/bench_load.py.
+            tape.save(args.capture)
+        return report.to_json()
+
+    if args.shards > 1:
+        with LiveCluster(config, pspec, args.shards, host=args.host) as cluster:
+            with cluster.client(name="control") as control:
+                out = finish(lambda flow: cluster.client(name=flow), control)
+                out["backend"] = f"cluster-{args.shards}"
+    else:
+        handle = serve_in_thread(
+            config, lambda: build_policy(pspec), host=args.host, port=args.port
+        )
+        try:
+            with LiveClient(handle.host, handle.port, name="control") as control:
+                out = finish(
+                    lambda flow: LiveClient(handle.host, handle.port, name=flow),
+                    control,
+                )
+                out["backend"] = "live"
+        finally:
+            handle.stop()
+            handle.join()
+    if tape is not None:
+        out["tape"] = args.capture
+        out["tape_ops"] = len(tape)
+    _emit(out, args)
+    return 0 if out["slo_gate"] in ("pass", "report-only", "not-evaluated") else 1
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a captured tape against any backend with equivalence checks.
+
+    The tape's own config/policy meta rebuilds the deployment; read
+    digests (and the recorded quiescent projection, when present) are
+    compared byte-for-byte against the recording.  Exit code 1 on any
+    mismatch.
+    """
+    from repro.workloads.capture import Tape, config_from_meta
+    from repro.workloads.load import SimTarget, replay_tape
+
+    tape = Tape.load(args.tape)
+    if "config" not in tape.meta or "policy" not in tape.meta:
+        print(f"{args.tape}: tape has no config/policy meta; cannot rebuild "
+              f"a deployment to replay against", file=sys.stderr)
+        return 2
+    config = config_from_meta(tape.meta["config"])
+    name, opts = tape.meta["policy"]
+    pspec = (name, dict(opts))
+    amplify = {}
+    for item in args.amplify:
+        flow, _, count = item.partition("=")
+        amplify[flow] = int(count)
+    speedup = None if not args.speedup else args.speedup
+
+    def run(target) -> dict:
+        report = replay_tape(
+            tape, target, speedup=speedup, amplify=amplify or None,
+            check_digests=not args.no_check,
+        )
+        return report.to_json()
+
+    if args.backend == "sim":
+        from repro.live.cluster import build_policy
+        from repro.staging.service import StagingService
+
+        out = run(SimTarget(StagingService(config, build_policy(pspec))))
+        out["backend"] = "sim"
+    elif args.backend == "live":
+        from repro.live.cluster import build_policy
+        from repro.live.protocol import LiveClient
+        from repro.live.server import serve_in_thread
+
+        handle = serve_in_thread(config, lambda: build_policy(pspec))
+        try:
+            with LiveClient(handle.host, handle.port, name="replay") as cli:
+                out = run(cli)
+        finally:
+            handle.stop()
+            handle.join()
+        out["backend"] = "live"
+    else:
+        from repro.live.cluster import LiveCluster
+
+        with LiveCluster(config, pspec, args.shards, host=args.host) as cluster:
+            with cluster.client(name="replay") as cli:
+                out = run(cli)
+        out["backend"] = f"cluster-{args.shards}"
+    out["tape"] = args.tape
+    _emit(out, args)
+    return 0 if out["ok"] else 1
+
+
 def cmd_model(args: argparse.Namespace) -> int:
     from repro.core.model import CoRECModel, ModelParams
 
@@ -824,6 +1012,66 @@ def build_parser() -> argparse.ArgumentParser:
                         help="enable wall-clock tracing; export span/metrics "
                              "artifacts to this directory on exit")
     p_live.set_defaults(func=cmd_live)
+
+    def load_replay_common(p):
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks a free one)")
+        p.add_argument("--shards", type=int, default=2,
+                       help="shard processes for the cluster backend")
+
+    p_load = sub.add_parser(
+        "load", help="open-loop load generation with SLO gate (live/cluster)"
+    )
+    load_replay_common(p_load)
+    p_load.add_argument("--policy", default="corec", choices=["replicate", "corec"])
+    p_load.add_argument("--storage-bound", type=float, default=0.67)
+    p_load.add_argument("--servers", type=int, default=8)
+    p_load.add_argument("--domain", type=int, nargs=3, default=[64, 64, 32])
+    p_load.add_argument("--object-bytes", type=int, default=4096)
+    p_load.add_argument("--seed", type=int, default=7)
+    p_load.add_argument("--process", default="poisson",
+                        choices=["constant", "poisson", "hotspot", "diurnal",
+                                 "flash-crowd"],
+                        help="seeded arrival process")
+    p_load.add_argument("--rate", type=float, default=50.0,
+                        help="aggregate arrival rate (ops/s)")
+    p_load.add_argument("--duration", type=float, default=5.0,
+                        help="seconds of scheduled arrivals")
+    p_load.add_argument("--flows", type=int, default=2,
+                        help="concurrent flow clients")
+    p_load.add_argument("--vars", type=int, default=2)
+    p_load.add_argument("--blocks", type=int, default=12,
+                        help="working-set size (first N blocks)")
+    p_load.add_argument("--read-fraction", type=float, default=0.4)
+    p_load.add_argument("--verify-fraction", type=float, default=0.0,
+                        help="fraction of gets issued with verify=True")
+    p_load.add_argument("--capture", default="",
+                        help="record the run to this JSONL tape")
+    p_load.add_argument("--slo-put-p99", type=float, default=None, metavar="MS")
+    p_load.add_argument("--slo-get-p99", type=float, default=None, metavar="MS")
+    p_load.add_argument("--max-error-rate", type=float, default=0.01)
+    p_load.add_argument("--report-only", action="store_true",
+                        help="report SLO violations without failing")
+    p_load.set_defaults(func=cmd_load, shards=1)
+
+    p_replay = sub.add_parser(
+        "replay", help="replay a captured tape with byte-equivalence checks"
+    )
+    load_replay_common(p_replay)
+    p_replay.add_argument("--tape", required=True, help="JSONL tape path")
+    p_replay.add_argument("--backend", default="sim",
+                          choices=["sim", "live", "cluster"])
+    p_replay.add_argument("--speedup", type=float, default=0.0,
+                          help="pace replay at recorded-time/N (0: no pacing, "
+                               "replay flat out)")
+    p_replay.add_argument("--amplify", action="append", default=[],
+                          metavar="FLOW=K",
+                          help="issue FLOW's data ops K times (shadow vars; "
+                               "repeatable)")
+    p_replay.add_argument("--no-check", action="store_true",
+                          help="skip digest equivalence checks")
+    p_replay.set_defaults(func=cmd_replay)
 
     p_model = sub.add_parser("model", help="evaluate the Section II-D model")
     p_model.add_argument("--s", type=float, default=0.67)

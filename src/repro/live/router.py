@@ -28,7 +28,8 @@ directly against a single-process run.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -44,9 +45,12 @@ class ClusterClient:
     """Synchronous client speaking to every shard of one live cluster.
 
     Not thread-safe (each underlying :class:`LiveClient` owns one TCP
-    connection): use one router per thread/process.  ``client_kwargs``
-    (timeouts, reconnect policy, tracer) are passed to every per-shard
-    client.
+    connection): use one router per thread/process.  Multi-shard data ops
+    overlap their per-shard RPCs on an internal thread pool — safe because
+    each in-flight RPC rides a *different* shard's connection.
+    ``client_kwargs`` (timeouts, reconnect policy, tracer) are passed to
+    every per-shard client; ``client_factory`` swaps the per-shard client
+    constructor (tests inject fakes with deterministic delays).
     """
 
     def __init__(
@@ -54,6 +58,7 @@ class ClusterClient:
         plan: ShardPlan,
         endpoints: Sequence[tuple[str, int]],
         name: str = "client",
+        client_factory: Callable[..., LiveClient] | None = None,
         **client_kwargs: Any,
     ):
         if len(endpoints) != plan.n_shards:
@@ -63,11 +68,13 @@ class ClusterClient:
         self.plan = plan
         self.name = name
         self._client_kwargs = dict(client_kwargs)
+        self._factory = client_factory or LiveClient
         _, self.domain, self.index, self.layout = build_geometry(plan.config)
         self._clients: list[LiveClient] = [
-            LiveClient(host, port, name=name, **self._client_kwargs)
+            self._factory(host, port, name=name, **self._client_kwargs)
             for host, port in endpoints
         ]
+        self._pool: ThreadPoolExecutor | None = None
 
     # -- routing -------------------------------------------------------
     def shard_of_block(self, block_id: int, var: str) -> int:
@@ -81,7 +88,7 @@ class ClusterClient:
     def set_endpoint(self, shard: int, host: str, port: int) -> None:
         """Repoint one shard's connection (after a shard restart)."""
         old = self._clients[shard]
-        self._clients[shard] = LiveClient(host, port, name=self.name, **self._client_kwargs)
+        self._clients[shard] = self._factory(host, port, name=self.name, **self._client_kwargs)
         try:
             old.close()
         except OSError:  # pragma: no cover - best effort
@@ -103,6 +110,36 @@ class ClusterClient:
             assert inter is not None
             per_shard.setdefault(self.shard_of_block(bid, var), []).append((bid, inter))
         return per_shard
+
+    def _fanout(self, calls: list[Callable[[], Any]]) -> list[Any]:
+        """Run per-shard RPCs concurrently, results in input order.
+
+        A multi-shard put/get used to contact shards one at a time, so the
+        client-side cost grew linearly with shards touched even though the
+        shards work independently.  Each call targets a distinct shard
+        connection, so overlapping them is safe; a single call runs
+        inline (no pool hop on the hot single-shard path).  The first
+        exception propagates after all calls settle.
+        """
+        if len(calls) == 1:
+            return [calls[0]()]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.plan.n_shards,
+                thread_name_prefix=f"router-{self.name}",
+            )
+        futures = [self._pool.submit(c) for c in calls]
+        results: list[Any] = []
+        first_exc: BaseException | None = None
+        for fut in futures:
+            try:
+                results.append(fut.result())
+            except BaseException as exc:  # settle every connection first
+                first_exc = first_exc or exc
+                results.append(None)
+        if first_exc is not None:
+            raise first_exc
+        return results
 
     # -- data plane ----------------------------------------------------
     def put(self, var: str, lb, ub, data: np.ndarray | None = None) -> float:
@@ -127,7 +164,7 @@ class ClusterClient:
             # Element-wise byte view: (*region.shape, element_bytes) —
             # the same view _block_payload takes server-side.
             grid = arr.view(np.uint8).reshape(region.shape + (eb,))
-        durations = []
+        calls: list[Callable[[], float]] = []
         for shard in sorted(per_shard):
             puts: list[tuple] = []
             parts: list[Buffer] = []
@@ -145,12 +182,12 @@ class ClusterClient:
                 ).ravel()
                 puts.append((inter.lb, inter.ub, src.nbytes))
                 parts.append(memoryview(src).cast("B"))
-            durations.append(
-                self._clients[shard].mput(
+            calls.append(
+                lambda cli=self._clients[shard], puts=puts, parts=parts: cli.mput(
                     var, puts, parts, dtype=None if grid is None else "uint8"
                 )
             )
-        return max(durations)
+        return max(self._fanout(calls))
 
     def get(
         self, var: str, lb, ub, verify: bool | None = None
@@ -158,11 +195,15 @@ class ClusterClient:
         """Read ``[lb, ub)``; one ``mget`` per shard, merged block views."""
         region = BBox(tuple(lb), tuple(ub))
         per_shard = self._decompose(var, region)
+        calls = [
+            lambda cli=self._clients[shard], regions=[
+                (inter.lb, inter.ub) for _, inter in per_shard[shard]
+            ]: cli.mget(var, regions, verify=verify)
+            for shard in sorted(per_shard)
+        ]
         merged: dict[int, memoryview] = {}
         duration = 0.0
-        for shard in sorted(per_shard):
-            regions = [(inter.lb, inter.ub) for _, inter in per_shard[shard]]
-            dur, blocks = self._clients[shard].mget(var, regions, verify=verify)
+        for dur, blocks in self._fanout(calls):
             duration = max(duration, dur)
             merged.update(blocks)
         return duration, merged
@@ -293,6 +334,9 @@ class ClusterClient:
             cli.shutdown()
 
     def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
         for cli in self._clients:
             cli.close()
 

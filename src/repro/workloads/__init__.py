@@ -5,7 +5,11 @@
   read-everything) with failure-plan hooks;
 - :mod:`repro.workloads.s3d` — the S3D-like combustion workflow at the
   paper's Table II weak-scaling configurations (proportionally reduced);
-- :mod:`repro.workloads.trace` — access-trace recording and replay.
+- :mod:`repro.workloads.trace` — sim access-trace recording and replay;
+- :mod:`repro.workloads.capture` — live-side tape capture (JSONL tapes
+  with wall-clock issue times, verify flags and payload digests);
+- :mod:`repro.workloads.load` — tape replay against any backend plus the
+  seeded open-loop load generator and SLO gate.
 """
 
 from repro.workloads.synthetic import (
@@ -16,6 +20,19 @@ from repro.workloads.synthetic import (
 )
 from repro.workloads.s3d import S3DWorkload, S3DConfig, TABLE_II
 from repro.workloads.trace import AccessTrace, TraceOp, TraceRecorder
+from repro.workloads.capture import CaptureRecorder, Tape, TapeOp
+from repro.workloads.load import (
+    LoadSpec,
+    LoadReport,
+    OpSpec,
+    ReplayReport,
+    SLO,
+    SimTarget,
+    arrival_times,
+    build_schedule,
+    replay_tape,
+    run_load,
+)
 
 __all__ = [
     "SyntheticWorkload",
@@ -28,4 +45,17 @@ __all__ = [
     "AccessTrace",
     "TraceOp",
     "TraceRecorder",
+    "CaptureRecorder",
+    "Tape",
+    "TapeOp",
+    "LoadSpec",
+    "LoadReport",
+    "OpSpec",
+    "ReplayReport",
+    "SLO",
+    "SimTarget",
+    "arrival_times",
+    "build_schedule",
+    "replay_tape",
+    "run_load",
 ]

@@ -1,9 +1,21 @@
 """Access-trace recording and replay.
 
-Captures the (step, op, variable, region, client) tuples a workload issues
-so experiments can be replayed bit-identically against a different policy,
-or exported for offline analysis of access patterns (e.g. to validate the
-classifier against ground truth).
+Captures the (step, op, variable, region, client, verify) tuples a
+workload issues so experiments can be replayed bit-identically against a
+different policy, or exported for offline analysis of access patterns
+(e.g. to validate the classifier against ground truth).
+
+Format versioning
+-----------------
+``to_json`` emits a versioned envelope (``{"format": "repro-access-trace",
+"version": 2, "ops": [...]}``).  Version 2 added the per-op ``verify``
+flag; version 1 tapes (a bare JSON list of ops, as written before the
+flag existed) still load — their ops get ``verify=None``, which replays
+as "service default", exactly what a v1 recording meant.
+
+For wall-clock tapes captured from the *live* client side (issue times,
+payload digests, JSONL), see :mod:`repro.workloads.capture` — that format
+is a superset of this one and converts via :meth:`AccessTrace.record`.
 """
 
 from __future__ import annotations
@@ -15,7 +27,12 @@ from typing import Generator, Iterable
 from repro.sim.engine import AllOf
 from repro.staging.domain import BBox
 
-__all__ = ["TraceOp", "AccessTrace", "TraceRecorder"]
+__all__ = ["TraceOp", "AccessTrace", "TraceRecorder", "TRACE_FORMAT", "TRACE_VERSION"]
+
+TRACE_FORMAT = "repro-access-trace"
+TRACE_VERSION = 2
+
+_MISSING = object()  # sentinel: "attribute was not in the instance dict"
 
 
 class TraceRecorder:
@@ -30,28 +47,70 @@ class TraceRecorder:
 
     Only client-visible operations are recorded (not the resilience
     traffic), which is exactly what a replay needs.
+
+    Recorders nest: attaching a second recorder wraps the first one's
+    wrappers, and detaching restores *exactly* what attach saw — including
+    a pre-existing instance-level wrapper (a nested recorder, an
+    instrumented service) — not just the class lookup.  Detach in reverse
+    attach order (LIFO); attaching twice without a detach raises.
     """
 
-    def __init__(self, service):
+    def __init__(self, service, attach: bool = True):
         self.service = service
         self.trace = AccessTrace()
-        self._orig_put = service.put
+        self._saved: dict[str, object] | None = None
+        self._orig_put = None
+        self._orig_get = None
+        if attach:
+            self.attach()
+
+    @property
+    def attached(self) -> bool:
+        return self._saved is not None
+
+    def attach(self) -> "TraceRecorder":
+        """Install the recording wrappers (idempotence is an error)."""
+        if self.attached:
+            raise RuntimeError("TraceRecorder is already attached")
+        service = self.service
+        # Save the exact instance-dict state so detach can restore a
+        # pre-existing wrapper instead of silently discarding it.
+        self._saved = {
+            attr: service.__dict__.get(attr, _MISSING) for attr in ("put", "get")
+        }
+        self._orig_put = service.put  # bound method OR a prior wrapper
         self._orig_get = service.get
         service.put = self._put
         service.get = self._get
+        return self
 
     def _put(self, client_name, name, region, data=None):
         self.trace.record(self.service.step, "put", client_name, name, region)
         return self._orig_put(client_name, name, region, data)
 
     def _get(self, client_name, name, region, verify=None):
-        self.trace.record(self.service.step, "get", client_name, name, region)
+        self.trace.record(
+            self.service.step, "get", client_name, name, region, verify=verify
+        )
         return self._orig_get(client_name, name, region, verify)
 
     def detach(self) -> "AccessTrace":
-        """Restore the service's methods; returns the recorded trace."""
-        for attr in ("put", "get"):
-            self.service.__dict__.pop(attr, None)  # restore class lookup
+        """Restore whatever ``attach`` displaced; returns the recorded trace.
+
+        A plain service gets its class lookup back; a service that already
+        carried an instance-level wrapper (nested recorder, instrumented
+        entry point) gets *that wrapper* back.
+        """
+        if not self.attached:
+            raise RuntimeError("TraceRecorder is not attached")
+        for attr, saved in self._saved.items():
+            if saved is _MISSING:
+                self.service.__dict__.pop(attr, None)  # restore class lookup
+            else:
+                setattr(self.service, attr, saved)
+        self._saved = None
+        self._orig_put = None
+        self._orig_get = None
         return self.trace
 
 
@@ -65,6 +124,10 @@ class TraceOp:
     var: str
     lb: tuple[int, ...]
     ub: tuple[int, ...]
+    # Read-verification flag as issued (None = service default).  Puts
+    # always carry None.  Recorded since format version 2; replay passes
+    # it through so a verified-read workload replays faithfully.
+    verify: bool | None = None
 
     @property
     def bbox(self) -> BBox:
@@ -77,10 +140,20 @@ class AccessTrace:
     def __init__(self, ops: Iterable[TraceOp] = ()):
         self.ops: list[TraceOp] = list(ops)
 
-    def record(self, step: int, op: str, client: str, var: str, box: BBox) -> None:
+    def record(
+        self,
+        step: int,
+        op: str,
+        client: str,
+        var: str,
+        box: BBox,
+        verify: bool | None = None,
+    ) -> None:
         if op not in ("put", "get"):
             raise ValueError(f"unknown op {op!r}")
-        self.ops.append(TraceOp(step, op, client, var, tuple(box.lb), tuple(box.ub)))
+        self.ops.append(
+            TraceOp(step, op, client, var, tuple(box.lb), tuple(box.ub), verify)
+        )
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -91,21 +164,33 @@ class AccessTrace:
     def ops_for_step(self, step: int) -> list[TraceOp]:
         return [o for o in self.ops if o.step == step]
 
+    def ops_by_step(self) -> dict[int, list[TraceOp]]:
+        """``{step: ops in recorded order}``, steps ascending — one pass."""
+        grouped: dict[int, list[TraceOp]] = {}
+        for o in self.ops:
+            grouped.setdefault(o.step, []).append(o)
+        return {step: grouped[step] for step in sorted(grouped)}
+
     # ------------------------------------------------------------------
     def replay(self, service) -> Generator:
         """Process body: replay the trace against a staging service.
 
         Operations within one step run concurrently; steps are barriers
-        (matching how the synthetic workloads drive the service).
+        (matching how the synthetic workloads drive the service).  Ops are
+        issued in recorded order within each step and carry their recorded
+        ``verify`` flag.  Grouping is a single pass over the tape (the old
+        per-step ``ops_for_step`` rescan made replay O(n * steps)).
         """
         sim = service.sim
-        for step in self.steps():
+        for ops in self.ops_by_step().values():
             procs = []
-            for o in self.ops_for_step(step):
+            for o in ops:
                 if o.op == "put":
                     procs.append(sim.process(service.put(o.client, o.var, o.bbox)))
                 else:
-                    procs.append(sim.process(service.get(o.client, o.var, o.bbox)))
+                    procs.append(
+                        sim.process(service.get(o.client, o.var, o.bbox, o.verify))
+                    )
             if procs:
                 yield AllOf(sim, procs)
             yield from service.end_step()
@@ -113,11 +198,31 @@ class AccessTrace:
 
     # ------------------------------------------------------------------
     def to_json(self) -> str:
-        return json.dumps([asdict(o) for o in self.ops])
+        return json.dumps(
+            {
+                "format": TRACE_FORMAT,
+                "version": TRACE_VERSION,
+                "ops": [asdict(o) for o in self.ops],
+            }
+        )
 
     @classmethod
     def from_json(cls, text: str) -> "AccessTrace":
         raw = json.loads(text)
+        if isinstance(raw, list):
+            ops = raw  # version 1: bare op list, no verify flags
+        elif isinstance(raw, dict):
+            if raw.get("format") != TRACE_FORMAT:
+                raise ValueError(f"not an access trace: format={raw.get('format')!r}")
+            version = raw.get("version")
+            if not isinstance(version, int) or version < 1 or version > TRACE_VERSION:
+                raise ValueError(
+                    f"unsupported access-trace version {version!r} "
+                    f"(this build reads 1..{TRACE_VERSION})"
+                )
+            ops = raw["ops"]
+        else:
+            raise ValueError("access trace must be a JSON list or envelope object")
         return cls(
             TraceOp(
                 step=int(o["step"]),
@@ -126,8 +231,9 @@ class AccessTrace:
                 var=o["var"],
                 lb=tuple(o["lb"]),
                 ub=tuple(o["ub"]),
+                verify=o.get("verify"),
             )
-            for o in raw
+            for o in ops
         )
 
     def save(self, path: str) -> None:

@@ -1,0 +1,137 @@
+"""Acceptance: a tape captured from single-process live replays
+byte-identically — read digests and quiescent projection — against both
+the sim backend and the 2-shard multi-process cluster.
+
+This is the end-to-end fidelity claim of the capture/replay harness: the
+tape is a faithful record (geometry, verify flags, digests, projection
+hash), and every backend that claims conformance must reproduce it
+byte-for-byte.  A deliberately perturbed replay (different policy) must
+be *caught*, which pins that the equivalence check has teeth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.live.cluster import LiveCluster
+from repro.live.conformance import (
+    WORKLOADS,
+    build_config,
+    build_ops,
+    make_policy,
+    policy_spec,
+)
+from repro.live.protocol import LiveClient
+from repro.live.server import serve_in_thread
+from repro.staging.service import StagingService, build_geometry
+from repro.workloads.capture import CaptureRecorder, config_from_meta
+from repro.workloads.load import SimTarget, replay_tape
+
+N_SHARDS = 2
+
+
+def small_spec():
+    """Hybrid differential spec shrunk to bound runtime on small hosts."""
+    return dataclasses.replace(
+        WORKLOADS["hybrid"], n_steps=2, puts_per_step=4, gets_per_step=2,
+        n_blocks=8,
+    ).with_overrides(enforcement_scope="group")
+
+
+@pytest.fixture(scope="module")
+def captured_tape():
+    """Record the shrunk hybrid workload from a single-process live run."""
+    spec = small_spec()
+    config = build_config(spec)
+    _, domain, _, _ = build_geometry(config)
+    handle = serve_in_thread(config, lambda: make_policy(spec))
+    try:
+        with LiveClient(handle.host, handle.port, name="w") as cli:
+            recorder = CaptureRecorder(cli, flow="w")
+            for op in build_ops(spec):
+                kind = op[0]
+                if kind == "put":
+                    box = domain.block_bbox(op[2])
+                    cli.put(op[1], box.lb, box.ub)
+                elif kind == "get":
+                    box = domain.block_bbox(op[2])
+                    cli.get(op[1], box.lb, box.ub)
+                elif kind == "step":
+                    cli.step()
+                elif kind == "flush":
+                    cli.flush()
+                else:  # pragma: no cover - spec has no failure ops
+                    raise ValueError(f"unexpected conformance op {kind!r}")
+                # Per-op quiesce keeps background work deterministic so the
+                # recorded digests are backend-independent ground truth.
+                cli.quiesce()
+            cli.quiesce()
+            tape = recorder.finalize(
+                config=config,
+                policy_spec=policy_spec(spec),
+                projection=cli.projection(),
+            )
+    finally:
+        handle.stop()
+        handle.join()
+    return tape
+
+
+class TestCaptureFidelity:
+    def test_tape_carries_replayable_metadata(self, captured_tape):
+        meta = captured_tape.meta
+        assert meta["config"]["n_servers"] == 8
+        assert meta["policy"][0] == "corec"
+        assert len(meta["projection_sha256"]) == 64
+        assert meta["flows"] == ["w"]
+        gets = [o for o in captured_tape.ops if o.op == "get"]
+        assert gets and all(o.digests for o in gets)
+
+    def test_tape_survives_serialization(self, captured_tape, tmp_path):
+        from repro.workloads.capture import Tape
+
+        path = str(tmp_path / "t.tape.jsonl")
+        captured_tape.save(path)
+        restored = Tape.load(path)
+        assert restored.ops == captured_tape.ops
+        assert restored.meta["projection_sha256"] == (
+            captured_tape.meta["projection_sha256"]
+        )
+
+
+class TestCrossBackendReplay:
+    def test_replays_byte_identical_on_sim(self, captured_tape):
+        config = config_from_meta(captured_tape.meta["config"])
+        name, opts = captured_tape.meta["policy"]
+        svc = StagingService(config, policy=make_policy(small_spec()))
+        report = replay_tape(captured_tape, SimTarget(svc))
+        assert report.ok, report.mismatches
+        assert report.digest_checks == sum(
+            1 for o in captured_tape.ops if o.op == "get"
+        )
+        assert report.projection_check == "match"
+
+    def test_replays_byte_identical_on_sharded_cluster(self, captured_tape):
+        config = config_from_meta(captured_tape.meta["config"])
+        name, opts = captured_tape.meta["policy"]
+        with LiveCluster(config, (name, dict(opts)), N_SHARDS) as cluster:
+            with cluster.client(name="replay") as client:
+                report = replay_tape(captured_tape, client)
+        assert report.ok, report.mismatches
+        assert report.digest_checks > 0
+        assert not report.mismatches
+        assert report.projection_check == "match"
+
+    def test_divergent_backend_is_caught(self, captured_tape):
+        """Replaying under a different policy must fail the projection
+        check — proof the equivalence gate can actually fire."""
+        config = config_from_meta(captured_tape.meta["config"])
+        # Replication policy instead of the recorded corec policy.
+        svc = StagingService(
+            config, policy=make_policy(WORKLOADS["replication-only"])
+        )
+        report = replay_tape(captured_tape, SimTarget(svc))
+        assert report.projection_check == "MISMATCH"
+        assert not report.ok

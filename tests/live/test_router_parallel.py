@@ -1,0 +1,165 @@
+"""Regression pins for the router's parallel per-shard fan-out.
+
+``ClusterClient.put``/``get`` used to contact shards sequentially: each
+shard's ``mput``/``mget`` RPC blocked before the next shard was touched,
+so a request spanning S shards cost the *sum* of the per-shard RPC times
+client-side even though the shards work independently.  These tests
+inject a deterministic per-shard delay through a fake client factory and
+pin that multi-shard requests overlap their RPCs (wall time ~ max, not
+sum), that ``max(durations)`` semantics survive, and that per-shard
+exceptions still propagate after all in-flight calls settle.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import StagingConfig
+from repro.live.cluster import ShardPlan
+from repro.live.router import ClusterClient
+
+DELAY = 0.15
+N_SHARDS = 4
+
+
+def router_config() -> StagingConfig:
+    # 16 servers -> 4 coding groups -> divisible into 4 shards.
+    return StagingConfig(
+        n_servers=16,
+        domain_shape=(64, 64, 256),
+        element_bytes=1,
+        object_max_bytes=65536,
+        seed=1,
+    )
+
+
+class FakeShardClient:
+    """LiveClient stand-in: every batched RPC sleeps a injected delay."""
+
+    instances: list["FakeShardClient"] = []
+
+    def __init__(self, host, port, name="client", delay=DELAY, fail_shards=(),
+                 **kwargs):
+        self.host, self.port, self.name = host, port, name
+        self.delay = delay
+        self.fail = port in fail_shards  # fake endpoints use port=shard index
+        self.calls: list[tuple] = []
+        self.closed = False
+        FakeShardClient.instances.append(self)
+
+    def _rpc(self, kind, payload):
+        self.calls.append((kind, time.monotonic(), threading.get_ident()))
+        time.sleep(self.delay)
+        if self.fail:
+            raise RuntimeError(f"injected failure on shard {self.port}")
+        return self.delay * (self.port + 1)  # distinct per-shard duration
+
+    def mput(self, var, puts, parts, dtype=None):
+        return self._rpc("mput", (var, len(puts)))
+
+    def mget(self, var, regions, verify=None):
+        dur = self._rpc("mget", (var, len(regions)))
+        return dur, {}
+
+    def close(self):
+        self.closed = True
+
+
+@pytest.fixture
+def cluster():
+    FakeShardClient.instances = []
+    config = router_config()
+    plan = ShardPlan.build(config, N_SHARDS)
+    endpoints = [("fake", shard) for shard in range(N_SHARDS)]
+    client = ClusterClient(
+        plan, endpoints, name="t", client_factory=FakeShardClient
+    )
+    yield client
+    client.close()
+
+
+def whole_domain(client):
+    return (0, 0, 0), client.domain.shape
+
+
+class TestParallelFanout:
+    def test_multi_shard_put_overlaps_rpcs(self, cluster):
+        lb, ub = whole_domain(cluster)
+        from repro.staging.domain import BBox
+
+        per_shard = cluster._decompose("v", BBox(lb, ub))
+        assert len(per_shard) == N_SHARDS  # the region really spans all shards
+
+        t0 = time.monotonic()
+        cluster.put("v", lb, ub)
+        elapsed = time.monotonic() - t0
+        # Serial fan-out would take >= N_SHARDS * DELAY (0.6 s); the
+        # overlapped version is bounded by the slowest shard plus slack.
+        assert elapsed < N_SHARDS * DELAY * 0.67, (
+            f"4-shard put took {elapsed:.3f}s — per-shard RPCs serialized"
+        )
+        assert elapsed >= DELAY  # every shard really slept
+
+    def test_multi_shard_get_overlaps_rpcs(self, cluster):
+        lb, ub = whole_domain(cluster)
+        t0 = time.monotonic()
+        duration, merged = cluster.get("v", lb, ub)
+        elapsed = time.monotonic() - t0
+        assert elapsed < N_SHARDS * DELAY * 0.67
+        assert merged == {}
+
+    def test_put_returns_slowest_shard_duration(self, cluster):
+        lb, ub = whole_domain(cluster)
+        # Fake durations are delay*(port+1); the max is shard 3's.
+        assert cluster.put("v", lb, ub) == pytest.approx(DELAY * N_SHARDS)
+
+    def test_get_returns_max_duration(self, cluster):
+        lb, ub = whole_domain(cluster)
+        duration, _ = cluster.get("v", lb, ub)
+        assert duration == pytest.approx(DELAY * N_SHARDS)
+
+    def test_distinct_threads_per_shard(self, cluster):
+        lb, ub = whole_domain(cluster)
+        cluster.put("v", lb, ub)
+        tids = {c[2] for cli in FakeShardClient.instances for c in cli.calls}
+        assert len(tids) == N_SHARDS
+
+    def test_single_shard_op_stays_inline(self, cluster):
+        """The hot single-shard path must not pay a pool hop."""
+        bid = 0
+        shard = cluster.shard_of_block(bid, "v")
+        box = cluster.domain.block_bbox(bid)
+        main_tid = threading.get_ident()
+        cluster.put("v", box.lb, box.ub)
+        assert cluster._pool is None  # never built
+        calls = [c for c in FakeShardClient.instances[shard].calls]
+        assert calls and all(c[2] == main_tid for c in calls)
+
+    def test_shard_exception_propagates_after_settling(self):
+        FakeShardClient.instances = []
+        config = router_config()
+        plan = ShardPlan.build(config, N_SHARDS)
+        endpoints = [("fake", shard) for shard in range(N_SHARDS)]
+        client = ClusterClient(
+            plan, endpoints, name="t",
+            client_factory=FakeShardClient, fail_shards=(2,),
+        )
+        try:
+            lb, ub = whole_domain(client)
+            with pytest.raises(RuntimeError, match="injected failure"):
+                client.put("v", lb, ub)
+            # Every shard was still contacted (no early abandon).
+            assert all(cli.calls for cli in FakeShardClient.instances)
+        finally:
+            client.close()
+
+    def test_close_shuts_down_pool_and_clients(self, cluster):
+        lb, ub = whole_domain(cluster)
+        cluster.put("v", lb, ub)
+        assert cluster._pool is not None
+        cluster.close()
+        assert cluster._pool is None
+        assert all(cli.closed for cli in FakeShardClient.instances)

@@ -241,3 +241,78 @@ class TestLiveClusterCommand:
         rc = main(["live", "--shards", "2", "--policy", "hybrid", "--smoke"])
         assert rc == 2
         assert "process-shippable" in capsys.readouterr().err
+
+
+class TestLoadReplayCommands:
+    def test_load_capture_then_replay_sim(self, tmp_path, capsys):
+        tape_path = str(tmp_path / "cli.tape.jsonl")
+        rc = main([
+            "--json", "load", "--rate", "40", "--duration", "0.8",
+            "--flows", "1", "--capture", tape_path,
+            "--slo-put-p99", "5000", "--slo-get-p99", "5000",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["ops"] > 0
+        assert out["errors"] == 0
+        assert out["slo_gate"] == "pass"
+        assert out["tape"] == tape_path
+
+        rc = main(["--json", "replay", "--tape", tape_path, "--backend", "sim"])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["ok"] is True
+        assert not out["mismatches"]
+        assert out["digest_checks"] > 0
+        # Streamed captures carry no projection hash (background
+        # batching is timing-dependent); the check reports that.
+        assert out["projection_check"] == "not-checked"
+
+    def test_replay_amplified(self, tmp_path, capsys):
+        tape_path = str(tmp_path / "amp.tape.jsonl")
+        rc = main([
+            "--json", "load", "--rate", "40", "--duration", "0.6",
+            "--flows", "1", "--capture", tape_path,
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main([
+            "--json", "replay", "--tape", tape_path, "--backend", "sim",
+            "--amplify", "flow0=2",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["ok"] is True
+        assert out["amplified_ops"] > 0
+
+    def test_replay_rejects_tape_without_deployment_meta(
+        self, tmp_path, capsys
+    ):
+        from repro.workloads.capture import Tape
+
+        tape = Tape()
+        tape.record(0.0, "step", "w")
+        path = str(tmp_path / "bare.tape.jsonl")
+        tape.save(path)
+        rc = main(["--json", "replay", "--tape", path, "--backend", "sim"])
+        assert rc == 2
+        assert "config" in capsys.readouterr().err
+
+    def test_load_slo_failure_exits_nonzero(self, capsys):
+        rc = main([
+            "--json", "load", "--rate", "40", "--duration", "0.5",
+            "--flows", "1", "--slo-put-p99", "0.000001",
+        ])
+        assert rc == 1
+        out = json.loads(capsys.readouterr().out)
+        assert out["slo_gate"] == "fail"
+        assert out["slo_violations"]
+
+    def test_load_report_only_keeps_exit_zero(self, capsys):
+        rc = main([
+            "--json", "load", "--rate", "40", "--duration", "0.5",
+            "--flows", "1", "--slo-put-p99", "0.000001", "--report-only",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["slo_gate"] == "report-only"

@@ -115,6 +115,182 @@ class TestTraceRecorder:
         assert "put" not in svc.__dict__  # class method restored
         assert svc.put.__func__ is type(svc).put
 
+    def test_double_attach_raises(self):
+        from repro.workloads.trace import TraceRecorder
+
+        svc = make_service("none")
+        recorder = TraceRecorder(svc)
+        with pytest.raises(RuntimeError):
+            recorder.attach()
+        recorder.detach()
+        with pytest.raises(RuntimeError):
+            recorder.detach()
+        # After a full detach, re-attach works again.
+        recorder.attach()
+        recorder.detach()
+
+    def test_nested_recorders_restore_in_lifo_order(self):
+        """detach() must restore the wrapper it displaced, not nuke it.
+
+        The old implementation popped the instance attributes outright,
+        so detaching an inner recorder silently removed the *outer*
+        recorder's wrappers and subsequent ops went unrecorded.
+        """
+        from repro.workloads.trace import TraceRecorder
+
+        svc = make_service("none")
+        outer = TraceRecorder(svc)
+        inner = TraceRecorder(svc)  # wraps outer's wrappers
+
+        def wf(tag):
+            yield from svc.put(tag, "v", svc.domain.bbox)
+
+        svc.run_workflow(wf("both"))
+        inner.detach()
+        # Outer's wrapper must still be installed: this op records there.
+        svc.run_workflow(wf("outer-only"))
+        outer.detach()
+        svc.run_workflow(wf("nobody"))
+
+        assert [o.client for o in inner.trace.ops] == ["both"]
+        assert [o.client for o in outer.trace.ops] == ["both", "outer-only"]
+        assert "put" not in svc.__dict__  # class lookup fully restored
+        assert svc.put.__func__ is type(svc).put
+
+    def test_nested_recorders_any_detach_order(self):
+        """Out-of-order detach still reinstates the saved instance attr."""
+        from repro.workloads.trace import TraceRecorder
+
+        svc = make_service("none")
+        outer = TraceRecorder(svc)
+        inner = TraceRecorder(svc)
+        outer.detach()  # restores what *outer* saw: the class lookup...
+        # ...but inner's wrapper was displaced by outer's detach; inner's
+        # own detach then reinstates outer's wrapper (what inner saved).
+        inner.detach()
+        assert svc.__dict__["put"] == outer._put
+        del svc.__dict__["put"]
+        del svc.__dict__["get"]
+        assert svc.put.__func__ is type(svc).put
+
+    def test_get_records_verify_flag(self):
+        """_get used to drop verify; replay then issued verify=None."""
+        from repro.workloads.trace import TraceRecorder
+
+        svc = make_service("replication")
+        recorder = TraceRecorder(svc)
+
+        def wf():
+            yield from svc.put("w", "v", svc.domain.bbox)
+            yield from svc.end_step()
+            yield from svc.get("r", "v", svc.domain.bbox, True)
+            yield from svc.get("r", "v", svc.domain.bbox, False)
+            yield from svc.get("r", "v", svc.domain.bbox)
+
+        svc.run_workflow(wf())
+        trace = recorder.detach()
+        gets = [o for o in trace.ops if o.op == "get"]
+        assert [o.verify for o in gets] == [True, False, None]
+
+    def test_replay_passes_verify_through(self):
+        """Replaying a verified-read tape must re-verify the reads."""
+        trace = AccessTrace()
+        trace.record(0, "put", "w", "v", BBox((0, 0, 0), (32, 32, 32)))
+        trace.record(
+            1, "get", "r", "v", BBox((0, 0, 0), (32, 32, 32)), verify=True
+        )
+        svc = make_service("replication")
+        seen: list = []
+        orig_get = svc.get
+
+        def spying_get(client, name, region, verify=None):
+            seen.append(verify)
+            return orig_get(client, name, region, verify)
+
+        svc.get = spying_get
+        svc.run_workflow(trace.replay(svc))
+        svc.run()
+        assert seen == [True]
+        assert svc.read_errors == 0
+
+
+class TestFormatVersioning:
+    def test_envelope_roundtrip_preserves_verify(self):
+        t = AccessTrace()
+        t.record(0, "put", "w", "v", BBox((0,), (8,)))
+        t.record(0, "get", "r", "v", BBox((0,), (8,)), verify=True)
+        text = t.to_json()
+        import json
+
+        raw = json.loads(text)
+        assert raw["format"] == "repro-access-trace"
+        assert raw["version"] == 2
+        restored = AccessTrace.from_json(text)
+        assert restored.ops == t.ops
+        assert restored.ops[1].verify is True
+
+    def test_v1_bare_list_still_loads(self):
+        """Pre-versioning tapes (bare JSON list, no verify) stay loadable."""
+        import json
+
+        legacy = json.dumps(
+            [
+                {"step": 0, "op": "put", "client": "w", "var": "v",
+                 "lb": [0], "ub": [8]},
+                {"step": 1, "op": "get", "client": "r", "var": "v",
+                 "lb": [0], "ub": [8]},
+            ]
+        )
+        t = AccessTrace.from_json(legacy)
+        assert len(t) == 2
+        assert all(o.verify is None for o in t.ops)
+
+    def test_unknown_format_and_version_rejected(self):
+        import json
+
+        with pytest.raises(ValueError):
+            AccessTrace.from_json(json.dumps({"format": "nope", "ops": []}))
+        with pytest.raises(ValueError):
+            AccessTrace.from_json(
+                json.dumps(
+                    {"format": "repro-access-trace", "version": 99, "ops": []}
+                )
+            )
+        with pytest.raises(ValueError):
+            AccessTrace.from_json(json.dumps("not a trace"))
+
+
+class TestReplayGrouping:
+    def test_ops_by_step_single_pass_matches_ops_for_step(self):
+        t = AccessTrace()
+        for step in (2, 0, 2, 1, 0, 2):
+            t.record(step, "put", "w", "v", BBox((0,), (4,)))
+        grouped = t.ops_by_step()
+        assert list(grouped) == [0, 1, 2]
+        for step in t.steps():
+            assert grouped[step] == t.ops_for_step(step)
+
+    def test_replay_order_unchanged(self):
+        """The one-pass grouping must not reorder ops within a step."""
+        from repro.workloads.trace import TraceRecorder
+
+        t = AccessTrace()
+        box = BBox((0, 0, 0), (32, 32, 32))
+        t.record(0, "put", "w0", "a", box)
+        t.record(0, "put", "w1", "b", box)
+        t.record(1, "get", "r0", "a", box)
+        t.record(1, "put", "w0", "a", box)
+        t.record(2, "get", "r1", "b", box, verify=True)
+
+        svc = make_service("replication")
+        recorder = TraceRecorder(svc)
+        svc.run_workflow(t.replay(svc))
+        svc.run()
+        replayed = recorder.detach()
+        assert [
+            (o.step, o.op, o.client, o.var, o.verify) for o in replayed.ops
+        ] == [(o.step, o.op, o.client, o.var, o.verify) for o in t.ops]
+
     def test_recorded_trace_serializes(self, tmp_path):
         from repro.workloads.trace import TraceRecorder
 
