@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Tiering-v2 + CodingSets benchmark and CI gate.
+
+Two measurements against the committed baseline
+``benchmarks/BENCH_tiering.json``:
+
+1. **Transcode throughput** — a tiering-enabled CoREC service stages a
+   working set, lets it cool, and the cost model demotes it in the
+   background; measured as entities transcoded per wall-second (host
+   speed, informational) with an exact count of demotions scheduled
+   (deterministic, gated).
+2. **Correlated-failure data loss** — the seed-reproducible cabinet-kill
+   campaign from :mod:`repro.chaos.dataloss`: spread vs CodingSets
+   stripe-kill events are exact per seed, so the gate compares them
+   verbatim and enforces the >= 2x loss-ratio floor.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_tiering.py --smoke           # gate
+    PYTHONPATH=src python benchmarks/bench_tiering.py --write-baseline  # record
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro import CoRECConfig, CoRECPolicy, StagingConfig, StagingService, TieringConfig
+from repro.chaos import DataLossConfig, run_dataloss_campaign
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_tiering.json")
+
+MIN_LOSS_RATIO = 2.0
+CAMPAIGN_SEEDS = (0, 1, 2)
+
+
+def measure_transcode(idle_steps: int = 10) -> dict:
+    """Stage a working set, let it cool, count cost-model demotions."""
+    cfg = CoRECConfig(
+        storage_bound=0.4,  # classic enforcement quiet: tiering does the work
+        tiering=TieringConfig(cooldown_steps=0, max_transcodes_per_step=8),
+    )
+    svc = StagingService(
+        StagingConfig(n_servers=16, domain_shape=(32, 128, 64), object_max_bytes=4096),
+        CoRECPolicy(cfg),
+    )
+
+    def flow():
+        for v in range(2):
+            for b in range(svc.domain.n_blocks):
+                yield from svc.put("w", f"v{v}", svc.domain.block_bbox(b))
+        yield from svc.end_step()
+        for _ in range(idle_steps):
+            yield from svc.end_step()
+        yield from svc.flush()
+
+    t0 = time.perf_counter()
+    svc.run_workflow(flow())
+    svc.run()
+    wall = time.perf_counter() - t0
+    mgr = svc.policy.tiering
+    audit = svc.verify_all()
+    return {
+        "entities": 2 * svc.domain.n_blocks,
+        "demotes_scheduled": mgr.demotes_scheduled,
+        "promotes_scheduled": mgr.promotes_scheduled,
+        "decisions_evaluated": mgr.decisions_evaluated,
+        "unrecoverable": len(audit["unrecoverable"]),
+        "wall_s": round(wall, 3),
+        "transcodes_per_s": round(mgr.demotes_scheduled / wall, 1) if wall else 0.0,
+    }
+
+
+def measure_campaigns() -> dict:
+    out = {}
+    for seed in CAMPAIGN_SEEDS:
+        payload = run_dataloss_campaign(DataLossConfig(seed=seed, inject=True))
+        cmp_ = payload["comparisons"]["spread_vs_coding_sets"]
+        out[str(seed)] = {
+            "spread_kill_events": cmp_["spread_kill_events"],
+            "coding_sets_kill_events": cmp_["coding_sets_kill_events"],
+            "loss_ratio": cmp_["loss_ratio"],
+            "fingerprint": payload["fingerprint"],
+        }
+    return out
+
+
+def run_all() -> dict:
+    return {
+        "note": "tiering-v2 baseline for benchmarks/bench_tiering.py",
+        "transcode": measure_transcode(),
+        "campaigns": measure_campaigns(),
+    }
+
+
+def gate(current: dict, baseline: dict) -> list[str]:
+    problems: list[str] = []
+    cur_t, base_t = current["transcode"], baseline["transcode"]
+    for key in ("entities", "demotes_scheduled", "unrecoverable"):
+        if cur_t[key] != base_t[key]:
+            problems.append(
+                f"transcode.{key}: {cur_t[key]} != baseline {base_t[key]}"
+            )
+    for seed, base_c in baseline["campaigns"].items():
+        cur_c = current["campaigns"].get(seed)
+        if cur_c is None:
+            problems.append(f"campaign seed {seed} missing")
+            continue
+        for key in ("spread_kill_events", "coding_sets_kill_events", "fingerprint"):
+            if cur_c[key] != base_c[key]:
+                problems.append(
+                    f"campaign[{seed}].{key}: {cur_c[key]!r} != baseline {base_c[key]!r}"
+                )
+        if cur_c["loss_ratio"] < MIN_LOSS_RATIO:
+            problems.append(
+                f"campaign[{seed}]: loss ratio {cur_c['loss_ratio']:.2f} "
+                f"below the {MIN_LOSS_RATIO}x floor"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="gate against the committed baseline")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="record the current measurements as the baseline")
+    args = ap.parse_args(argv)
+
+    current = run_all()
+    print(json.dumps(current, indent=2))
+
+    if args.write_baseline:
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(current, fh, indent=2)
+            fh.write("\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    if args.smoke:
+        with open(BASELINE_PATH) as fh:
+            baseline = json.load(fh)
+        problems = gate(current, baseline)
+        for p in problems:
+            print(f"REGRESSION: {p}", file=sys.stderr)
+        print("tiering smoke:", "FAIL" if problems else "ok")
+        return 1 if problems else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,13 +8,16 @@ schedule to a minimal reproducer and dumps trace artifacts.
 """
 
 from repro.chaos.campaign import CampaignResult, ChaosConfig, FailureUnit, run_campaign
+from repro.chaos.dataloss import DataLossConfig, run_dataloss_campaign
 from repro.chaos.invariants import INVARIANTS, ONLINE, QUIESCENT, Violation, run_invariants
 
 __all__ = [
     "CampaignResult",
     "ChaosConfig",
+    "DataLossConfig",
     "FailureUnit",
     "run_campaign",
+    "run_dataloss_campaign",
     "INVARIANTS",
     "ONLINE",
     "QUIESCENT",

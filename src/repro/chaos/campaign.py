@@ -75,6 +75,8 @@ class ChaosConfig:
     timesteps: int = 4
     read_stride: int = 4          # read every Nth block back each step
     n_failures: int = 3
+    placement_mode: str = "grouped"
+    max_coding_sets: int = 2
     storage_bound: float = 0.67
     # Fraction of the calibrated horizon the recovery sweep deadline gets.
     # Kept small so repairs land between failure slots — chaos verifies
@@ -189,6 +191,8 @@ def _build_service(cfg: ChaosConfig, horizon: float | None, tracing: bool = Fals
             nodes_per_cabinet=cfg.nodes_per_cabinet,
             domain_shape=tuple(cfg.domain_shape),
             object_max_bytes=cfg.object_bytes,
+            placement_mode=cfg.placement_mode,
+            max_coding_sets=cfg.max_coding_sets,
             tracing=tracing,
             seed=cfg.seed,
         ),

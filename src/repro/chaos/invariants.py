@@ -210,6 +210,64 @@ def check_anti_affinity(svc) -> list[str]:
     return problems
 
 
+def check_coding_sets(svc) -> list[str]:
+    """Every stripe's server set stays within its group's allowed sets.
+
+    The placement mode defines, per coding group, the universe of servers
+    its stripes may span (`GroupLayout.allowed_stripe_servers`): the group
+    members under ``grouped``, members plus the bounded cabinet-disjoint
+    parity menu under ``coding_sets``, the whole cluster under ``spread``.
+    A shard parked outside that universe is exempt only while rebalance
+    could not have fixed it yet — i.e. it is a violation when an alive,
+    shard-free server inside the universe exists.  Under ``coding_sets``
+    the number of distinct parity servers in use per group must also stay
+    within the menu bound (the whole point of CodingSets: a correlated
+    failure intersects at most ``max_coding_sets`` extra servers per
+    group).
+    """
+    problems = []
+    layout = svc.layout
+    parity_in_use: dict[int, set[int]] = {}
+    for stripe in svc.directory.stripes.values():
+        allowed = layout.allowed_stripe_servers(stripe.group_id)
+        occupied = stripe.occupied_servers()
+        holders: list[tuple[int, int]] = []
+        for i in range(stripe.k):
+            if stripe.members[i] is not None:
+                holders.append((i, svc.directory.entities[stripe.members[i]].primary))
+        for j in range(stripe.k, stripe.k + stripe.m):
+            sid = stripe.shard_servers[j]
+            holders.append((j, sid))
+            parity_in_use.setdefault(stripe.group_id, set()).add(sid)
+        strays = [(slot, s) for slot, s in holders if s not in allowed]
+        if not strays:
+            continue
+        free_allowed = sorted(
+            s for s in allowed if not svc.servers[s].failed and s not in occupied
+        )
+        if free_allowed:
+            problems.append(
+                f"stripe {stripe.stripe_id} (group {stripe.group_id}): shards "
+                f"{strays} outside the allowed server set while {free_allowed} "
+                f"are alive and shard-free inside it"
+            )
+    if layout.placement_mode == "coding_sets":
+        for gid, servers in sorted(parity_in_use.items()):
+            menu = set(layout.coding_sets_menu(gid))
+            members = set(layout.coding_group_members(gid))
+            # Group members are always legitimate fallback hosts; the bound
+            # applies to the off-group parity choices the menu controls.
+            distinct = servers - members
+            bound = max(layout.m, len(menu))
+            if menu and len(distinct) > bound:
+                problems.append(
+                    f"group {gid}: {len(distinct)} distinct off-group parity "
+                    f"servers {sorted(distinct)} exceed the coding-sets menu "
+                    f"bound {bound}"
+                )
+    return problems
+
+
 def check_store_consistency(svc) -> list[str]:
     """Every stored object is one the directory placed on that server.
 
@@ -432,6 +490,7 @@ INVARIANTS: tuple[Invariant, ...] = (
     Invariant("lock_leaks", QUIESCENT, check_lock_leaks),
     Invariant("accounting", QUIESCENT, check_accounting),
     Invariant("anti_affinity", QUIESCENT, check_anti_affinity),
+    Invariant("coding_sets", QUIESCENT, check_coding_sets),
     Invariant("store_consistency", QUIESCENT, check_store_consistency),
     Invariant("parity_integrity", QUIESCENT, check_parity_integrity),
     Invariant("reverse_indexes", QUIESCENT, check_reverse_indexes),

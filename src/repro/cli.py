@@ -426,6 +426,54 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_dataloss(args: argparse.Namespace) -> int:
+    """Correlated-cabinet data-loss campaign: spread vs CodingSets placement.
+
+    Exit status: 0 when CodingSets reduces stripe-kill events by at least
+    ``--min-ratio`` (default 2x), 1 otherwise — so CI can gate on the
+    placement actually paying off.
+    """
+    from repro.chaos import DataLossConfig, run_dataloss_campaign
+
+    cfg = DataLossConfig(
+        seed=args.seed,
+        n_servers=args.servers,
+        nodes_per_cabinet=args.nodes_per_cabinet,
+        n_variables=args.variables,
+        object_bytes=args.object_bytes,
+        max_coding_sets=args.max_coding_sets,
+        inject=not args.no_inject,
+    )
+    payload = run_dataloss_campaign(cfg)
+    comparison = payload["comparisons"]["spread_vs_coding_sets"]
+    if args.json:
+        _emit(payload, args)
+    else:
+        for name, res in payload["placements"].items():
+            print(
+                f"{name:12s} stripes={res['stripes_total']} "
+                f"kill_events={res['stripe_kill_events']} "
+                f"p(kill|cabinet)={res['kill_probability']:.4f}"
+            )
+            inj = res.get("injected")
+            if inj:
+                print(
+                    f"{'':12s} injected cabinet {inj['cabinet']}: "
+                    f"{len(inj['unrecoverable'])} unrecoverable, "
+                    f"{len(inj['unexplained_losses'])} unexplained"
+                )
+        print(f"loss ratio (spread/coding_sets): {comparison['loss_ratio']:.1f}")
+        print(f"fingerprint: {payload['fingerprint']}")
+    if comparison["loss_ratio"] < args.min_ratio:
+        print(
+            f"FAIL: loss ratio {comparison['loss_ratio']:.2f} "
+            f"below required {args.min_ratio:.2f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_scale(args: argparse.Namespace) -> int:
     """Weak-scaling sweep of the failure paths with operation-count bounds.
 
@@ -970,6 +1018,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--out", default=None,
                          help="directory for trace/schedule dumps of a failing campaign")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_loss = sub.add_parser(
+        "dataloss", help="correlated-cabinet loss: spread vs CodingSets placement"
+    )
+    p_loss.add_argument("--seed", type=int, default=0)
+    p_loss.add_argument("--servers", type=int, default=16)
+    p_loss.add_argument("--nodes-per-cabinet", type=int, default=2)
+    p_loss.add_argument("--variables", type=int, default=3)
+    p_loss.add_argument("--object-bytes", type=int, default=4096)
+    p_loss.add_argument("--max-coding-sets", type=int, default=2)
+    p_loss.add_argument("--min-ratio", type=float, default=2.0,
+                        help="required spread/coding_sets stripe-kill ratio")
+    p_loss.add_argument("--no-inject", action="store_true",
+                        help="static sweep only; skip the real cabinet kill")
+    p_loss.set_defaults(func=cmd_dataloss)
 
     p_scale = sub.add_parser(
         "scale", help="weak-scaling sweep of the failure paths (4 -> 64 servers)"

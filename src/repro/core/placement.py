@@ -13,13 +13,38 @@ Because groups are windows of the topology-aware ring, all members of any
 group live in distinct cabinets (when the cluster has at least as many
 cabinets as the group size), so a correlated cabinet failure costs at most
 one shard per stripe — the paper's Figure 5 layout.
+
+Placement modes (Hydra's CodingSets, PAPERS.md)
+-----------------------------------------------
+Data shards always sit on their entities' primaries (group members), but
+*parity* placement is a free choice, and it decides how many distinct
+server sets the stripes of one coding group span — the blast radius of a
+correlated cabinet failure:
+
+- ``grouped`` (default): parity lands on the group members holding no
+  data shard of the stripe.  Every stripe spans (a subset of) its group's
+  one server set — the paper's layout, byte-identical to the pre-mode
+  behaviour.
+- ``spread``: parity is drawn pseudo-randomly (deterministic per stripe)
+  from the whole cluster, oblivious to cabinets — the unconstrained
+  placement large deployments drift into, where almost every stripe spans
+  a different server set and a correlated cabinet failure intersects many
+  of them.
+- ``coding_sets``: parity is drawn from a small fixed menu (at most
+  ``max_coding_sets`` servers per group) chosen cabinet-disjoint from the
+  group's members, so the stripes of one group span a bounded number of
+  server sets *and* no single cabinet can take both a data shard and the
+  parity of the same stripe.
 """
 
 from __future__ import annotations
 
 from repro.sim.cluster import Cluster, topology_aware_ring
+from repro.util.rng import stable_hash
 
-__all__ = ["GroupLayout"]
+__all__ = ["GroupLayout", "PLACEMENT_MODES"]
+
+PLACEMENT_MODES = ("grouped", "spread", "coding_sets")
 
 
 class GroupLayout:
@@ -37,6 +62,13 @@ class GroupLayout:
     topology_aware:
         When False, the ring is the identity permutation — the naive
         placement the ablation benchmark compares against.
+    placement_mode:
+        Parity-placement regime: ``grouped`` (default), ``spread`` or
+        ``coding_sets`` (see module docstring).
+    max_coding_sets:
+        Size of the per-group parity menu in ``coding_sets`` mode.
+    placement_seed:
+        Seeds the deterministic parity draws of the non-grouped modes.
     """
 
     def __init__(
@@ -46,6 +78,9 @@ class GroupLayout:
         k: int = 3,
         m: int = 1,
         topology_aware: bool = True,
+        placement_mode: str = "grouped",
+        max_coding_sets: int = 2,
+        placement_seed: int = 0,
     ):
         if n_level < 1:
             raise ValueError("n_level must be >= 1")
@@ -62,12 +97,22 @@ class GroupLayout:
             raise ValueError(
                 f"{n} servers not divisible into coding groups of {self.code_size}"
             )
+        if placement_mode not in PLACEMENT_MODES:
+            raise ValueError(
+                f"unknown placement mode {placement_mode!r} (pick from {PLACEMENT_MODES})"
+            )
+        if max_coding_sets < 1:
+            raise ValueError("max_coding_sets must be >= 1")
         self.cluster = cluster
         self.n_level = n_level
         self.k = k
         self.m = m
+        self.placement_mode = placement_mode
+        self.max_coding_sets = max_coding_sets
+        self.placement_seed = placement_seed
         self.ring = topology_aware_ring(cluster) if topology_aware else list(range(n))
         self.pos = {server: i for i, server in enumerate(self.ring)}
+        self._menu_cache: dict[int, list[int]] = {}
 
     @property
     def n_servers(self) -> int:
@@ -131,12 +176,110 @@ class GroupLayout:
                 ok = False
         return ok
 
-    def stripe_shard_servers(self, group_id: int, data_servers: list[int]) -> list[int]:
+    # ------------------------------------------------------------------
+    # parity placement (the dimension the placement modes control)
+    # ------------------------------------------------------------------
+    def coding_sets_menu(self, group_id: int) -> list[int]:
+        """The bounded parity-server menu of one group (``coding_sets`` mode).
+
+        Candidates are servers whose cabinet is disjoint from *every* group
+        member's cabinet, so a single cabinet failure can never take a data
+        shard and the parity of the same stripe.  The menu is a
+        deterministic rotation of those candidates, truncated to
+        ``max_coding_sets`` — the bound on distinct server sets per group.
+        Empty when the cluster has no cabinet-disjoint server (small
+        deployments), in which case placement falls back to ``grouped``.
+        """
+        cached = self._menu_cache.get(group_id)
+        if cached is not None:
+            return cached
+        members = self.coding_group_members(group_id)
+        member_cabs = {self.cluster.cabinet_of(s) for s in members}
+        outside = [
+            s for s in self.ring
+            if s not in members and self.cluster.cabinet_of(s) not in member_cabs
+        ]
+        if outside:
+            rot = stable_hash(f"codingsets/{self.placement_seed}/{group_id}") % len(outside)
+            outside = outside[rot:] + outside[:rot]
+        menu = outside[: self.max_coding_sets]
+        self._menu_cache[group_id] = menu
+        return menu
+
+    def parity_servers(
+        self, group_id: int, data_servers: list[int], seq: int = 0
+    ) -> list[int]:
+        """Where the ``m`` parity shards of one stripe go, per mode.
+
+        ``seq`` is the stripe's formation ordinal within its group, which
+        makes the non-grouped draws deterministic per stripe (replays and
+        shrunk chaos schedules reproduce the exact same placement).
+        """
+        members = self.coding_group_members(group_id)
+        in_group = [s for s in members if s not in data_servers]
+        if self.placement_mode == "coding_sets":
+            menu = self.coding_sets_menu(group_id)
+            if len(menu) >= self.m:
+                start = seq % len(menu)
+                return [menu[(start + i) % len(menu)] for i in range(self.m)]
+            return in_group[: self.m]
+        if self.placement_mode == "spread":
+            candidates = [s for s in range(self.n_servers) if s not in data_servers]
+            h = stable_hash(f"spread/{self.placement_seed}/{group_id}/{seq}")
+            n = len(candidates)
+            start = h % n
+            # A stride coprime to n walks every candidate exactly once, so
+            # the draw is uniform-ish per stripe yet fully deterministic.
+            stride = 1 + (h // max(1, n)) % max(1, n - 1)
+            while n > 1 and self._gcd(stride, n) != 1:
+                stride += 1
+            return [candidates[(start + i * stride) % n] for i in range(self.m)]
+        return in_group[: self.m]
+
+    @staticmethod
+    def _gcd(a: int, b: int) -> int:
+        while b:
+            a, b = b, a % b
+        return a
+
+    def parity_candidates(self, group_id: int) -> list[int]:
+        """Preferred hosts for a *re-homed* parity shard, in priority order.
+
+        Recovery uses this so repairs respect the placement mode's bound:
+        ``coding_sets`` prefers the group's menu (staying inside the
+        allowed sets), then the group members; the other modes prefer the
+        group members as before.
+        """
+        members = self.coding_group_members(group_id)
+        if self.placement_mode == "coding_sets":
+            menu = self.coding_sets_menu(group_id)
+            return menu + [s for s in members if s not in menu]
+        return list(members)
+
+    def allowed_stripe_servers(self, group_id: int) -> set[int]:
+        """The server universe a stripe of ``group_id`` may legitimately span.
+
+        The coding-sets invariant (``chaos.invariants.check_coding_sets``)
+        verifies every stripe's shard servers against this set.  ``spread``
+        mode is unconstrained by construction, so its universe is the whole
+        cluster.
+        """
+        members = set(self.coding_group_members(group_id))
+        if self.placement_mode == "spread":
+            return set(range(self.n_servers))
+        if self.placement_mode == "coding_sets":
+            return members | set(self.coding_sets_menu(group_id))
+        return members
+
+    def stripe_shard_servers(
+        self, group_id: int, data_servers: list[int], seq: int = 0
+    ) -> list[int]:
         """Full shard-server list for a stripe: data first, then parity.
 
         ``data_servers`` are the (distinct) primaries of the k member
-        entities; parity shards land on the group members that hold no data
-        shard of this stripe, so each server carries at most one shard.
+        entities; parity shards land where the placement mode dictates
+        (group members in ``grouped`` mode), so each server carries at most
+        one shard of the stripe.
         """
         members = self.coding_group_members(group_id)
         if len(data_servers) != self.k:
@@ -146,5 +289,4 @@ class GroupLayout:
         for s in data_servers:
             if s not in members:
                 raise ValueError(f"server {s} not in coding group {group_id}")
-        parity_servers = [s for s in members if s not in data_servers]
-        return list(data_servers) + parity_servers[: self.m]
+        return list(data_servers) + self.parity_servers(group_id, data_servers, seq)

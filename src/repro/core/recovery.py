@@ -375,9 +375,15 @@ class RecoveryManager:
                     break
                 seen.add(server)
             if move_slot is None:
+                # Data shards belong on group members; parity belongs in the
+                # placement mode's allowed universe (which is exactly the
+                # group under grouped mode, but includes the coding-sets
+                # menu / the whole cluster under the other modes — parity
+                # legitimately living there must not be pulled in-group).
+                allowed = self.rt.layout.allowed_stripe_servers(stripe.group_id)
                 for i, server in enumerate(stripe.shard_servers):
-                    if server not in group:
-                        move_slot = i  # off-group shard
+                    if server not in group and (i < stripe.k or server not in allowed):
+                        move_slot = i  # displaced shard
                         break
             if move_slot is None:
                 continue
@@ -558,11 +564,14 @@ class RecoveryManager:
 
     def _pick_parity_survivor(self, stripe: StripeInfo, exclude: int) -> int | None:
         gid = self.rt.layout.coding_group_id(stripe.shard_servers[0])
-        members = self.rt.layout.coding_group_members(gid)
+        # Mode-aware preference order: under coding_sets the group's parity
+        # menu comes first, so repairs keep every stripe inside its allowed
+        # server sets; grouped/spread prefer the group members as before.
+        preferred = self.rt.layout.parity_candidates(gid)
         tiers = (
             [
                 s
-                for s in members
+                for s in preferred
                 if s != exclude and self.rt.alive(s) and s not in stripe.shard_servers
             ],
             [
@@ -570,7 +579,7 @@ class RecoveryManager:
                 for s in range(len(self.rt.servers))
                 if s != exclude and self.rt.alive(s) and s not in stripe.shard_servers
             ],
-            [s for s in members if s != exclude and self.rt.alive(s)],
+            [s for s in preferred if s != exclude and self.rt.alive(s)],
         )
         for tier in tiers:
             if tier:

@@ -573,7 +573,9 @@ class StagingRuntime:
         placeholders = [s for s in group_members if s not in data_servers]
         # Vacant slots get placeholder servers so they can be refilled later.
         all_data_servers = list(data_servers) + placeholders[: k - len(real)]
-        shard_servers = self.layout.stripe_shard_servers(gid, all_data_servers)
+        shard_servers = self.layout.stripe_shard_servers(
+            gid, all_data_servers, seq=self.directory.stripe_seq(gid)
+        )
 
         exec_sid = executor if executor is not None else real[0].primary
         if not self.alive(exec_sid):

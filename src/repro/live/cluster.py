@@ -91,6 +91,16 @@ class ShardPlan:
         n_groups = layout.n_coding_groups()
         if n_shards < 1:
             raise ValueError(f"need at least one shard, got {n_shards}")
+        if n_shards > 1 and config.placement_mode != "grouped":
+            # Sharding partitions the cluster by coding-group ranges; the
+            # spread/coding_sets modes place parity on servers outside the
+            # group, which may land on a different shard — cross-shard
+            # stripes are not supported by the shard-local directories.
+            raise ValueError(
+                f"placement_mode={config.placement_mode!r} can place parity "
+                f"across coding-group boundaries and cannot be sharded; "
+                f"use n_shards=1 or grouped placement"
+            )
         if n_groups % n_shards:
             raise ValueError(
                 f"{n_groups} coding groups do not divide into {n_shards} shards; "

@@ -123,6 +123,16 @@ class MetadataDirectory:
         self._next_stripe_id += 1
         return sid
 
+    def stripe_seq(self, group_id: int) -> int:
+        """Formation ordinal the next stripe of ``group_id`` will receive.
+
+        Drives the per-stripe deterministic parity draws of the non-grouped
+        placement modes; like :meth:`new_stripe_id` it is a pure function
+        of how many stripes the group has formed, so a sharded directory
+        computes exactly what a global one would.
+        """
+        return self._stripes_formed_by_group.get(group_id, 0)
+
     def register_stripe(self, stripe: StripeInfo) -> None:
         if stripe.group_id < 0 and self.layout is not None:
             stripe.group_id = self.layout.coding_group_id(stripe.shard_servers[0])

@@ -61,6 +61,13 @@ class StagingConfig:
     costs: CostModel = field(default_factory=CostModel)
     index_scheme: str = "round_robin"
     topology_aware: bool = True
+    # Parity-placement regime (see repro.core.placement): "grouped" keeps
+    # every stripe inside its coding group (the paper's layout, default),
+    # "spread" scatters parity cluster-wide per stripe (unconstrained),
+    # "coding_sets" bounds parity to a cabinet-disjoint menu of at most
+    # ``max_coding_sets`` servers per group (Hydra's CodingSets).
+    placement_mode: str = "grouped"
+    max_coding_sets: int = 2
     verify_reads: bool = True
     # When True, a put is acknowledged once the primary copy is staged and
     # the protection work (replicas / parity) continues in the background,
@@ -111,6 +118,9 @@ def build_geometry(config: StagingConfig) -> tuple[Cluster, Domain, SpatialIndex
         k=config.k,
         m=config.n_level,
         topology_aware=config.topology_aware,
+        placement_mode=config.placement_mode,
+        max_coding_sets=config.max_coding_sets,
+        placement_seed=config.seed,
     )
     return cluster, domain, index, layout
 
@@ -407,6 +417,9 @@ class StagingService:
                 raise DataLossError(
                     f"digest mismatch reading {name}/{block_id}@v{ent.version}"
                 )
+        # Synchronous notification (no simulated events): policies feed
+        # read-access statistics for adaptive tiering from here.
+        self.policy.on_read(ent, self.step)
         return payload
 
     # ------------------------------------------------------------------

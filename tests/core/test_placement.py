@@ -6,13 +6,14 @@ from repro.core.placement import GroupLayout
 from repro.sim.cluster import Cluster
 
 
-def make_layout(n=8, n_level=1, k=3, m=1, npc=2, topo=True):
+def make_layout(n=8, n_level=1, k=3, m=1, npc=2, topo=True, **kw):
     return GroupLayout(
         Cluster(n_servers=n, nodes_per_cabinet=npc),
         n_level=n_level,
         k=k,
         m=m,
         topology_aware=topo,
+        **kw,
     )
 
 
@@ -134,3 +135,85 @@ class TestStripeShardServers:
         group = layout.coding_group_members(0)
         with pytest.raises(ValueError):
             layout.stripe_shard_servers(0, group[:2])
+
+
+class TestPlacementModes:
+    """Hydra-style parity placement: grouped vs spread vs coding_sets."""
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            make_layout(placement_mode="scatter")
+
+    def test_grouped_ignores_seq(self):
+        layout = make_layout()
+        data = layout.coding_group_members(0)[:3]
+        assert layout.stripe_shard_servers(0, data, seq=0) == layout.stripe_shard_servers(
+            0, data, seq=7
+        )
+
+    def test_spread_is_deterministic_per_seq(self):
+        a = make_layout(n=16, placement_mode="spread", placement_seed=3)
+        b = make_layout(n=16, placement_mode="spread", placement_seed=3)
+        data = a.coding_group_members(0)[:3]
+        for seq in range(10):
+            assert a.parity_servers(0, data, seq) == b.parity_servers(0, data, seq)
+
+    def test_spread_varies_with_seq(self):
+        layout = make_layout(n=16, placement_mode="spread")
+        data = layout.coding_group_members(0)[:3]
+        parities = {tuple(layout.parity_servers(0, data, seq)) for seq in range(16)}
+        assert len(parities) > 1  # parity actually moves around
+
+    def test_spread_parity_never_on_data(self):
+        layout = make_layout(n=16, placement_mode="spread")
+        for gid in range(layout.n_coding_groups()):
+            data = layout.coding_group_members(gid)[:3]
+            for seq in range(8):
+                for p in layout.parity_servers(gid, data, seq):
+                    assert p not in data
+
+    def test_coding_sets_menu_is_cabinet_disjoint(self):
+        layout = make_layout(n=16, placement_mode="coding_sets")
+        for gid in range(layout.n_coding_groups()):
+            member_cabs = {
+                layout.cluster.cabinet_of(s) for s in layout.coding_group_members(gid)
+            }
+            for s in layout.coding_sets_menu(gid):
+                assert layout.cluster.cabinet_of(s) not in member_cabs
+
+    def test_coding_sets_menu_bounded(self):
+        layout = make_layout(n=16, placement_mode="coding_sets", max_coding_sets=2)
+        for gid in range(layout.n_coding_groups()):
+            assert len(layout.coding_sets_menu(gid)) <= 2
+
+    def test_coding_sets_parity_drawn_from_menu(self):
+        layout = make_layout(n=16, placement_mode="coding_sets")
+        for gid in range(layout.n_coding_groups()):
+            menu = set(layout.coding_sets_menu(gid))
+            data = layout.coding_group_members(gid)[:3]
+            for seq in range(8):
+                assert set(layout.parity_servers(gid, data, seq)) <= menu
+
+    def test_coding_sets_falls_back_to_grouped_when_no_outside_cabinet(self):
+        # 8 servers, 4 cabinets, groups span all 4 -> no disjoint cabinet.
+        layout = make_layout(n=8, npc=2, placement_mode="coding_sets")
+        gid = 0
+        assert layout.coding_sets_menu(gid) == []
+        data = layout.coding_group_members(gid)[:3]
+        in_group = [s for s in layout.coding_group_members(gid) if s not in data]
+        assert layout.parity_servers(gid, data) == in_group[:1]
+
+    def test_allowed_stripe_servers_by_mode(self):
+        grouped = make_layout(n=16)
+        spread = make_layout(n=16, placement_mode="spread")
+        cs = make_layout(n=16, placement_mode="coding_sets")
+        members = set(grouped.coding_group_members(0))
+        assert grouped.allowed_stripe_servers(0) == members
+        assert spread.allowed_stripe_servers(0) == set(range(16))
+        assert cs.allowed_stripe_servers(0) == members | set(cs.coding_sets_menu(0))
+
+    def test_parity_candidates_prefers_menu(self):
+        cs = make_layout(n=16, placement_mode="coding_sets")
+        menu = cs.coding_sets_menu(0)
+        candidates = cs.parity_candidates(0)
+        assert candidates[: len(menu)] == menu

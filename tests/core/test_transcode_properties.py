@@ -1,0 +1,167 @@
+"""Property-based tests of the transcode state machine (tiering v2).
+
+Hypothesis generates interleavings of writes, reads, step barriers and
+single-server failure/replace pairs against a tiering-enabled CoREC
+service with an aggressive cost model (zero cooldown, low storage bound
+so every transcode is the cost model's decision).  After draining, every
+entity ever written must read back byte-exactly (digest-verified through
+the real read paths) and the full quiescent invariant suite must hold —
+regardless of how transcodes interleaved with traffic and failures.
+
+Two deterministic pins ride along: scheduling a demotion twice is
+idempotent, and a transcode cancelled by a mid-flight server failure
+leaves the entity readable (the old protection form outlives the
+attempt).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import CoRECConfig, CoRECPolicy, StagingConfig, StagingService, TieringConfig
+from repro.chaos.invariants import QUIESCENT, run_invariants
+from repro.staging.objects import ResilienceState
+
+N_SERVERS = 8
+VARS = ("u", "v")
+
+
+def make_service() -> StagingService:
+    cfg = CoRECConfig(
+        storage_bound=0.4,  # classic enforcement quiet; tiering decides
+        tiering=TieringConfig(cooldown_steps=0, max_transcodes_per_step=4),
+    )
+    return StagingService(
+        StagingConfig(n_servers=N_SERVERS, domain_shape=(32, 64, 64), object_max_bytes=4096),
+        CoRECPolicy(cfg),
+    )
+
+
+# One op: (kind, variable index, block slot).  Failure ops carry a server
+# slot; the driver maps slots onto the domain/cluster and keeps at most
+# one server down at a time (RS(3,1) tolerates exactly one).
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "read", "step", "fail", "replace"]),
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=63),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def drive(svc: StagingService, ops) -> set:
+    """Run the op list through the service; returns the written key set."""
+    written: set = set()
+    down: list[int] = []
+
+    def flow():
+        for kind, vi, slot in ops:
+            var = VARS[vi]
+            block = slot % svc.domain.n_blocks
+            if kind == "write":
+                yield from svc.put("w", var, svc.domain.block_bbox(block))
+                written.add((var, block))
+            elif kind == "read" and (var, block) in written:
+                yield from svc.get("r", var, svc.domain.block_bbox(block))
+            elif kind == "step":
+                yield from svc.end_step()
+            elif kind == "fail" and not down:
+                sid = slot % N_SERVERS
+                svc.fail_server(sid)
+                down.append(sid)
+            elif kind == "replace" and down:
+                svc.replace_server(down.pop())
+        # Drain: bring everything back, flush all protection work.
+        while down:
+            svc.replace_server(down.pop())
+        yield from svc.end_step()
+        yield from svc.flush()
+
+    svc.run_workflow(flow())
+    svc.run()
+    return written
+
+
+@given(OPS)
+@settings(max_examples=20, deadline=None, derandomize=True)
+def test_interleavings_preserve_durability_and_reads(ops):
+    svc = make_service()
+    written = drive(svc, ops)
+    audit = svc.verify_all()
+    assert not audit["unrecoverable"], f"lost entities after {len(ops)} ops"
+    assert audit["verified"] == len(written)
+    violations = run_invariants(svc, tier=QUIESCENT)
+    assert not violations, [str(v) for v in violations]
+
+
+@given(OPS)
+@settings(max_examples=10, deadline=None, derandomize=True)
+def test_interleavings_read_back_byte_exact(ops):
+    """Every written entity re-reads digest-verified through the real path."""
+    svc = make_service()
+    written = drive(svc, ops)
+
+    def reread():
+        for var, block in sorted(written):
+            yield from svc.get("audit", var, svc.domain.block_bbox(block), verify=True)
+
+    svc.run_workflow(reread())
+    svc.run()
+    assert svc.read_errors == 0
+
+
+class TestDeterministicPins:
+    def stage_one(self, svc):
+        def flow():
+            yield from svc.put("w", "u", svc.domain.block_bbox(0))
+            yield from svc.end_step()
+
+        svc.run_workflow(flow())
+        svc.run()
+        return svc.directory.get("u", 0)
+
+    def test_double_demotion_schedule_is_idempotent(self):
+        svc = make_service()
+        ent = self.stage_one(svc)
+        assert ent.state == ResilienceState.REPLICATED
+        svc.policy._schedule_demotion(ent)
+        svc.policy._schedule_demotion(ent)  # second is a no-op once in flight
+        svc.run()
+
+        def drain():
+            yield from svc.end_step()
+            yield from svc.flush()
+
+        svc.run_workflow(drain())
+        svc.run()
+        audit = svc.verify_all()
+        assert not audit["unrecoverable"]
+        assert svc.metrics.snapshot()["counters"]["demotions_scheduled"] == 2
+        # Exactly one stripe membership resulted despite two schedules.
+        assert sum(
+            1
+            for stripe in svc.directory.stripes.values()
+            for mk in stripe.members
+            if mk == ("u", 0)
+        ) <= 1
+
+    def test_cancelled_demotion_keeps_entity_readable(self):
+        """A server failure racing the demotion aborts it cleanly: the
+        entity keeps its pre-transcode protection and stays readable."""
+        svc = make_service()
+        ent = self.stage_one(svc)
+        svc.policy._schedule_demotion(ent)
+        # Kill the primary before the background encode can run.
+        svc.fail_server(ent.primary)
+        svc.run()
+        svc.replace_server(ent.primary)
+
+        def drain():
+            yield from svc.end_step()
+            yield from svc.flush()
+
+        svc.run_workflow(drain())
+        svc.run()
+        audit = svc.verify_all()
+        assert not audit["unrecoverable"]
+        assert not ent.transition_in_flight
